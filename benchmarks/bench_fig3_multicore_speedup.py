@@ -1,0 +1,68 @@
+"""Figure 3: speedup of the multi-core simulator on the Neurospora model.
+
+Paper setup: Intel 32-core Nehalem workstation, 128/512/1024 trajectories,
+x-axis = number of simulation engines (up to ~30), two panels:
+(top) a single statistical engine in the analysis pipeline,
+(bottom) a farm of 4 statistical engines.
+
+Paper findings reproduced as shape assertions:
+
+* near-ideal speedup for 128 and 512 trajectories ("succeeds to
+  effectively use all the simulation engines only up to 512 independent
+  simulations");
+* the 1024-trajectory curve degrades visibly with one statistical engine
+  ("the speedup decreases with the dimension increasing of the dataset,
+  because of the on-line data filtering and analysis");
+* 4 statistical engines lift the 1024 curve back toward the others.
+"""
+
+import pytest
+
+from benchmarks.conftest import neurospora_workload, print_series
+from repro.perfsim.platform import intel32
+from repro.perfsim.runner import speedup_curve
+
+WORKERS = (1, 8, 16, 24, 32)
+SIZES = (128, 512, 1024)
+
+
+def _figure3():
+    host = intel32().hosts[0]
+    curves = {}
+    for n_stat in (1, 4):
+        for n in SIZES:
+            workload = neurospora_workload(n)
+            curves[(n_stat, n)] = speedup_curve(
+                workload, WORKERS, n_stat_workers=n_stat,
+                window_size=16, host=host)
+    return curves
+
+
+def test_fig3_multicore_speedup(benchmark):
+    curves = benchmark.pedantic(_figure3, rounds=1, iterations=1)
+
+    for n_stat in (1, 4):
+        rows = [(w, *(curves[(n_stat, n)][w] for n in SIZES))
+                for w in WORKERS]
+        print_series(
+            f"Fig. 3 ({'top: 1 stat engine' if n_stat == 1 else 'bottom: 4 stat engines'})",
+            rows, ("workers", *(f"{n} traj" for n in SIZES)))
+        benchmark.extra_info[f"stat{n_stat}"] = {
+            str(n): curves[(n_stat, n)] for n in SIZES}
+
+    top = {n: curves[(1, n)] for n in SIZES}
+    bottom = {n: curves[(4, n)] for n in SIZES}
+
+    # 128 and 512 trajectories: near-ideal at 32 workers
+    assert top[128][32] > 0.80 * 32
+    assert top[512][32] > 0.75 * 32
+    # 1024 with one stat engine: visible degradation
+    assert top[1024][32] < 0.75 * 32
+    assert top[1024][32] < top[512][32] < top[128][32]
+    # 4 stat engines recover the large dataset
+    assert bottom[1024][32] > top[1024][32] * 1.1
+    assert bottom[1024][32] > 0.7 * 32
+    # all curves are monotone in workers
+    for curve in list(top.values()) + list(bottom.values()):
+        speeds = [curve[w] for w in WORKERS]
+        assert all(b >= a * 0.98 for a, b in zip(speeds, speeds[1:]))

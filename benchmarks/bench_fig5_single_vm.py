@@ -1,0 +1,59 @@
+"""Figure 5: the simulator on a single quad-core Amazon EC2 VM.
+
+Paper setup: a 96-day Neurospora run on one quad-core EC2 VM (Intel
+E5-2670), varying the number of virtualised cores 1..4.  Reported: 224'
+-> 123' -> 81' -> 71' execution time, i.e. speedups 1 / 1.82 / 2.77 /
+3.15 -- "the speedup is not linear because of the additional work done by
+the on-line alignment of trajectories during the simulation".
+
+Model: the EC2 configuration raises the per-sample output cost (alignment
+buffers + result streaming onto slow virtualised storage, the calibrated
+``io_cost_per_sample``); all service stages contend with the simulation
+engines for the VM's cores, which is exactly what bends the curve.
+
+Shape assertions: monotone decreasing time; sub-linear speedup with
+speedup@4 in the low 3s; speedup@2 still near 1.9 (overhead bites late).
+"""
+
+import pytest
+
+from benchmarks.conftest import neurospora_workload, print_series
+from repro.perfsim.costmodel import CostModel
+from repro.perfsim.platform import HostSpec
+from repro.perfsim.runner import simulate_workflow
+
+#: calibrated EC2 output cost (see EXPERIMENTS.md, Fig. 5 entry)
+EC2_COST = CostModel().with_(io_cost_per_sample=65e-6)
+CORES = (1, 2, 3, 4)
+
+
+def _figure5():
+    workload = neurospora_workload(200, t_end=48.0)
+    times = {}
+    for cores in CORES:
+        host = HostSpec("ec2-vm", cores=cores, core_speed=1.3)
+        result = simulate_workflow(
+            workload, cost=EC2_COST, n_sim_workers=cores,
+            n_stat_workers=1, window_size=16, host=host)
+        times[cores] = result.makespan
+    return times
+
+
+def test_fig5_single_vm(benchmark):
+    times = benchmark.pedantic(_figure5, rounds=1, iterations=1)
+    speedups = {c: times[1] / times[c] for c in CORES}
+
+    rows = [(c, times[c], speedups[c]) for c in CORES]
+    print_series("Fig. 5: single quad-core EC2 VM",
+                 rows, ("cores", "time (model s)", "speedup"))
+    print("paper: 224' -> 123' -> 81' -> 71'  (speedup 3.15 at 4 cores)")
+    benchmark.extra_info["speedups"] = {str(c): s for c, s in speedups.items()}
+
+    # execution time strictly decreasing with cores
+    values = [times[c] for c in CORES]
+    assert all(b < a for a, b in zip(values, values[1:]))
+    # sub-linear end point, in the paper's ballpark (3.15)
+    assert 2.8 < speedups[4] < 3.6
+    # near-linear at low core counts, bending at the top
+    assert speedups[2] > 1.85
+    assert speedups[4] - speedups[3] < speedups[2] - speedups[1]

@@ -1,0 +1,132 @@
+"""Micro-benchmarks of the real (functional) building blocks.
+
+These are honest wall-clock measurements of the Python implementation --
+the numbers that calibrate the performance models (steps/s feed
+``CostModel.step_cost`` scaling; per-cut analysis cost feeds the
+``stat_cut_*`` terms).
+"""
+
+import pytest
+
+from repro.analysis.kmeans import kmeans
+from repro.analysis.stats import cut_statistics
+from repro.cwc.gillespie import CWCSimulator
+from repro.cwc.matching import match_multiplicity
+from repro.cwc.network import FlatSimulator
+from repro.cwc.parser import parse_term
+from repro.cwc.rule import CompartmentPattern, Pattern
+from repro.cwc.multiset import Multiset
+from repro.distributed.message import decode_frame, encode_frame
+from repro.ff.queues import Channel
+from repro.models import neurospora_cwc_model, neurospora_network
+from repro.pipeline import WorkflowConfig, run_workflow
+from repro.sim.alignment import TrajectoryAligner
+from repro.sim.task import QuantumResult
+from repro.sim.trajectory import Cut
+
+
+def test_flat_ssa_throughput(benchmark):
+    network = neurospora_network(omega=100)
+
+    def one_hour():
+        simulator = FlatSimulator(network, seed=1)
+        simulator.advance(1.0)
+        return simulator.steps
+
+    steps = benchmark(one_hour)
+    assert steps > 100
+
+
+def test_cwc_ssa_throughput(benchmark):
+    model = neurospora_cwc_model(omega=100)
+
+    def one_hour():
+        simulator = CWCSimulator(model, seed=1)
+        simulator.advance(1.0)
+        return simulator.steps
+
+    steps = benchmark(one_hour)
+    assert steps > 100
+
+
+def test_tree_matching(benchmark):
+    term = parse_term("10*a 5*b (m m | 20*a):cell (m | 3*b):cell "
+                      "(n | (m | a):cell):organ")
+    pattern = Pattern(
+        atoms=Multiset.from_string("a b"),
+        compartments=(CompartmentPattern("cell", Multiset.from_string("m"),
+                                         Multiset.from_string("a")),))
+    result = benchmark(match_multiplicity, pattern, term)
+    assert result > 0
+
+
+def test_alignment_throughput(benchmark):
+    n_traj, n_grid = 64, 32
+
+    def align_everything():
+        aligner = TrajectoryAligner(n_traj)
+        sink = []
+        aligner._outbox = type("O", (), {"send": lambda _s, c: sink.append(c)})()
+        for task_id in range(n_traj):
+            aligner.svc(QuantumResult(
+                task_id=task_id,
+                samples=[(g, float(g), (1.0, 2.0, 3.0))
+                         for g in range(n_grid)],
+                time=0.0, steps=0, done=True))
+        return len(sink)
+
+    cuts = benchmark(align_everything)
+    assert cuts == n_grid
+
+
+def test_cut_statistics_cost(benchmark):
+    cut = Cut(grid_index=0, time=0.0,
+              values=[(float(i), float(i * 2), float(i % 7))
+                      for i in range(512)])
+    stats = benchmark(cut_statistics, cut)
+    assert stats.n_trajectories == 512
+
+
+def test_kmeans_cost(benchmark):
+    import random
+    rng = random.Random(0)
+    points = [[rng.gauss(0, 1)] for _ in range(256)] + \
+             [[rng.gauss(10, 1)] for _ in range(256)]
+    result = benchmark(kmeans, points, 2, 50, 0)
+    assert result.k == 2
+
+
+def test_codec_roundtrip_cost(benchmark):
+    payload = {"samples": [(g, float(g), (1.0, 2.0, 3.0))
+                           for g in range(40)]}
+
+    def roundtrip():
+        return decode_frame(encode_frame(payload))[0]
+
+    assert benchmark(roundtrip) == payload
+
+
+def test_channel_throughput(benchmark):
+    def push_pop_1000():
+        channel = Channel(capacity=1024)
+        channel.register_producer()
+        for i in range(1000):
+            channel.push(i)
+        total = 0
+        for _ in range(1000):
+            total += channel.pop()
+        return total
+
+    assert benchmark(push_pop_1000) == 499500
+
+
+def test_full_workflow_small(benchmark):
+    """End-to-end wall-clock of the real threaded workflow."""
+    network = neurospora_network(omega=30)
+    config = WorkflowConfig(
+        n_simulations=4, t_end=6.0, sample_every=0.5, quantum=2.0,
+        n_sim_workers=2, window_size=6, seed=0)
+
+    result = benchmark.pedantic(
+        lambda: run_workflow(network, config), rounds=3, iterations=1)
+    assert result.n_windows >= 2

@@ -1,0 +1,43 @@
+"""Shared helpers for the figure/table reproduction benches.
+
+Every bench regenerates one table or figure of the paper on the modeled
+platforms (see DESIGN.md section 3 for the substitution rationale), prints
+the rows/series the paper reports, asserts the *shape* of the result
+(who wins, where curves bend -- never absolute 2014 numbers), and records
+the series in ``benchmark.extra_info`` so they land in the benchmark JSON.
+
+Workload sizes are scaled down from the paper's (24 simulated hours
+instead of 96-day runs) to keep the suite fast; all the mechanisms the
+figures demonstrate (bottlenecks, channel costs, divergence) are
+granularity-relative, so the shapes survive the rescale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfsim.workload import TrajectoryWorkload
+
+
+def neurospora_workload(n_trajectories: int, quantum: float = 1.0,
+                        t_end: float = 24.0, sample_every: float = 0.25,
+                        seed: int = 1, **overrides) -> TrajectoryWorkload:
+    """The modeled Neurospora workload used across all figures.
+
+    Rate parameters are the measured defaults of TrajectoryWorkload
+    (fitted against the real Python engine at omega=100; see
+    tests/perfsim/test_workload.py::TestCalibration).
+    """
+    return TrajectoryWorkload(
+        n_trajectories=n_trajectories, t_end=t_end, quantum=quantum,
+        sample_every=sample_every, seed=seed, **overrides)
+
+
+def print_series(title: str, rows: list[tuple], header: tuple) -> None:
+    """Render one figure's data as the paper would tabulate it."""
+    print(f"\n=== {title} ===")
+    print("  ".join(f"{h:>12}" for h in header))
+    for row in rows:
+        print("  ".join(
+            f"{v:>12.2f}" if isinstance(v, float) else f"{v:>12}"
+            for v in row))

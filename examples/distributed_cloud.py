@@ -1,0 +1,82 @@
+"""The distributed / cloud CWC simulator.
+
+Run with::
+
+    python examples/distributed_cloud.py
+
+Two halves, mirroring how the paper splits function from performance:
+
+1. **Functional**: run the workflow on a *virtual cluster* -- a farm of
+   simulation pipelines whose engines sit behind real serialisation
+   boundaries (every task and result is pickled, framed, checksummed and
+   metered).  The run's statistics are identical to a shared-memory run,
+   and we report the measured wire traffic per host.
+2. **Performance model**: feed the same message sizes into the
+   discrete-event platform models to project the run onto the paper's
+   EC2 virtual cluster (Fig. 6): speedup vs. number of virtual cores.
+"""
+
+from repro.distributed import DistributedWorkflow, VirtualHost
+from repro.models import neurospora_network
+from repro.perfsim import CostModel, TrajectoryWorkload, ec2_virtual_cluster
+from repro.perfsim.platform import EC2_NETWORK, INFINIBAND_IPOIB
+from repro.perfsim.runner import simulate_distributed
+from repro.pipeline import WorkflowConfig, run_workflow
+
+
+def functional_half() -> None:
+    network = neurospora_network(omega=50)
+    config = WorkflowConfig(
+        n_simulations=8, t_end=24.0, sample_every=0.5, quantum=2.0,
+        n_sim_workers=4, n_stat_workers=2, window_size=12, seed=3)
+
+    local = run_workflow(network, config)
+    cluster = DistributedWorkflow(
+        network, config,
+        hosts=[VirtualHost("xeon0", lanes=2, channel=INFINIBAND_IPOIB),
+               VirtualHost("xeon1", lanes=2, channel=INFINIBAND_IPOIB),
+               VirtualHost("ec2vm", lanes=2, channel=EC2_NETWORK)])
+    remote = cluster.run()
+
+    local_stats = [(s.grid_index, s.mean) for s in local.cut_statistics()]
+    remote_stats = [(s.grid_index, s.mean)
+                    for s in remote.workflow.cut_statistics()]
+    print("distributed == shared-memory results:",
+          local_stats == remote_stats)
+    print(f"total traffic: {remote.total_messages()} messages, "
+          f"{remote.total_bytes() / 1024:.1f} KiB, modeled network time "
+          f"{remote.modeled_network_time() * 1000:.1f} ms\n")
+    for name in ("xeon0", "xeon1", "ec2vm"):
+        up = remote.uplinks[name].meter
+        print(f"  {name:>6} uplink: {up.messages:4d} msgs, "
+              f"{up.bytes / 1024:7.1f} KiB, "
+              f"mean {up.mean_size():5.0f} B/msg")
+
+
+def performance_half() -> None:
+    print("\nprojected on the paper's EC2 virtual cluster (Fig. 6):")
+    workload = TrajectoryWorkload(
+        n_trajectories=256, t_end=48.0, quantum=1.0, sample_every=0.25,
+        seed=3)
+    cost = CostModel().with_(io_cost_per_sample=0.5e-6)
+    base = None
+    for n_vms in (1, 2, 4, 8):
+        platform = ec2_virtual_cluster(n_vms=n_vms)
+        result = simulate_distributed(
+            workload, platform, workers_per_host=4, n_stat_workers=4,
+            window_size=16, cost=cost)
+        if base is None:
+            base = result.makespan * 4  # per-core normalisation anchor
+        cores = n_vms * 4
+        print(f"  {cores:3d} virtual cores: modeled time "
+              f"{result.makespan:7.3f} s, worker utilisation "
+              f"{result.worker_utilisation:.2f}")
+
+
+def main() -> None:
+    functional_half()
+    performance_half()
+
+
+if __name__ == "__main__":
+    main()

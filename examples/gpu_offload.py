@@ -1,0 +1,81 @@
+"""GPU offloading with the mapCUDA pattern (Table I's experiment).
+
+Run with::
+
+    python examples/gpu_offload.py
+
+Offloads blocks of CWC simulations to a modeled NVidia K40 through the
+``ff_mapCUDA``-equivalent node: execution is functionally real (the same
+Gillespie trajectories a CPU run produces), while the SIMT device models
+warp-lockstep timing, thread divergence, occupancy and launch overheads.
+Prints a miniature Table I (CPU vs. GPU across ensemble sizes and quantum
+settings) plus the divergence diagnostics that explain it.
+"""
+
+from repro.ff import Farm, MasterWorkerEmitter, Pipeline, run
+from repro.gpu import MapCUDANode, SimtDevice, simulate_gpu_run, tesla_k40
+from repro.models import neurospora_network
+from repro.perfsim import CostModel, TrajectoryWorkload
+from repro.sim.alignment import TrajectoryAligner
+from repro.sim.task import make_tasks
+from repro.sim.trajectory import assemble_trajectories
+
+
+class BlockEmitter(MasterWorkerEmitter):
+    """Streams whole blocks of simulations to the device."""
+
+    def is_complete(self, block):
+        return all(task.done for task in block)
+
+
+def functional_offload() -> None:
+    """A real (small) run through the mapCUDA node."""
+    network = neurospora_network(omega=50)
+    n, t_end = 8, 12.0
+    device = SimtDevice(tesla_k40(), step_cost=1e-6)
+    tasks = make_tasks(network, n, t_end, quantum=1.0, sample_every=0.5,
+                       seed=2)
+    farm = Farm([MapCUDANode(device)], emitter=BlockEmitter(),
+                collector=TrajectoryAligner(n), feedback=True)
+    cuts = run(Pipeline([[tasks], farm]), backend="sequential")
+    trajectories = assemble_trajectories(cuts, n)
+    print(f"offloaded {n} trajectories x {t_end:.0f} h: "
+          f"{len(cuts)} aligned cuts, "
+          f"{device.kernels_launched} kernels launched, "
+          f"modeled device time {device.total_device_time * 1000:.1f} ms")
+    final_m = [t.samples[-1][0] for t in trajectories]
+    print(f"final frq-mRNA counts per trajectory: {final_m}\n")
+
+
+def table_one_mini() -> None:
+    """Table I on the cost model (fast, all four ensemble sizes)."""
+    cost = CostModel()
+    print(f"{'N sims':>7} {'CPU(32)':>9} {'GPU q10':>9} {'GPU q1':>9} "
+          f"{'div q10':>8} {'div q1':>7}")
+    for n in (128, 512, 1024, 2048):
+        row = {}
+        for q_ratio in (10, 1):
+            workload = TrajectoryWorkload(
+                n_trajectories=n, t_end=24.0, quantum=0.25 * q_ratio,
+                sample_every=0.25, steps_per_hour=5900.0, seed=5)
+            cpu = workload.total_steps() * cost.step_cost / 32
+            gpu = simulate_gpu_run(
+                workload, SimtDevice(tesla_k40(), step_cost=cost.step_cost))
+            row[q_ratio] = (cpu, gpu)
+        print(f"{n:>7} {row[10][0]:>9.2f} {row[10][1].total_time:>9.2f} "
+              f"{row[1][1].total_time:>9.2f} "
+              f"{row[10][1].mean_divergence_ratio:>8.2f} "
+              f"{row[1][1].mean_divergence_ratio:>7.2f}")
+    print("\nreading: the GPU loses below ~512 simulations (too little "
+          "parallelism to hide divergence),\nwins ~2x at 1024-2048; short "
+          "quanta (q1) cut divergence via fresher re-balancing, paying "
+          "more kernel launches.")
+
+
+def main() -> None:
+    functional_offload()
+    table_one_mini()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The paper's use case: circadian oscillations in Neurospora.
+
+Run with::
+
+    python examples/neurospora_circadian.py
+
+Reproduces the science of the paper's evaluation workload end to end:
+
+1. integrates the deterministic (ODE) Leloup-Gonze-Goldbeter model and
+   measures its period (published value: 21.5 h);
+2. runs an ensemble of stochastic trajectories through the full
+   parallel simulation-analysis workflow (quantum-farmed Gillespie SSA,
+   on-line alignment, sliding windows, statistical engines);
+3. mines the oscillation period from the ensemble ("we compute the
+   period of each oscillation and plot the moving average of ... the
+   local period" -- Section V-B of the paper);
+4. renders the ensemble mean of *frq* mRNA as an ASCII plot.
+"""
+
+from repro.analysis.peaks import ensemble_period
+from repro.cwc.network import ReactionNetwork
+from repro.cwc.ode import integrate_ode
+from repro.models import neurospora_network
+from repro.pipeline import WorkflowConfig, run_workflow
+
+OMEGA = 100.0  # molecules per nM: the stochastic system size
+
+
+def ascii_plot(times, values, height=12, width=72, label="") -> None:
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    columns = values[::step][:width]
+    print(f"\n{label}  [{lo:.0f} .. {hi:.0f}]")
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        row = "".join("#" if v >= threshold else " " for v in columns)
+        print(f"  |{row}")
+    print("  +" + "-" * len(columns))
+    print(f"   t = {times[0]:.0f} .. {times[::step][:width][-1]:.0f} h")
+
+
+def main() -> None:
+    network = neurospora_network(omega=OMEGA)
+
+    # --- deterministic reference ---------------------------------------
+    ode = integrate_ode(network, t_end=150.0, sample_every=0.25)
+    m_series = ode.column("M")
+    peaks = [ode.times[i] for i in range(200, len(m_series) - 1)
+             if m_series[i - 1] < m_series[i] >= m_series[i + 1]
+             and m_series[i] > OMEGA]
+    ode_period = (peaks[-1] - peaks[0]) / (len(peaks) - 1)
+    print(f"deterministic (ODE) period: {ode_period:.2f} h "
+          "(published: 21.5 h)")
+
+    # --- stochastic ensemble through the parallel workflow -------------
+    config = WorkflowConfig(
+        n_simulations=16, t_end=96.0, sample_every=0.5, quantum=4.0,
+        n_sim_workers=4, n_stat_workers=2, window_size=24,
+        filter_width=9, seed=7, keep_cuts=True)
+    print(f"\nsimulating {config.n_simulations} trajectories x "
+          f"{config.t_end:.0f} h at omega={OMEGA:.0f} ...")
+    result = run_workflow(network, config)
+    print(f"{result.n_windows} windows analysed on-line, "
+          f"{len(result.cut_statistics())} aligned cuts")
+
+    # --- period mining ---------------------------------------------------
+    trajectories = result.trajectories()
+    estimate = ensemble_period(
+        [(t.times, t.column(0)) for t in trajectories],
+        min_prominence=0.2 * OMEGA, smooth_width=5,
+        discard_transient=10.0)
+    print(f"stochastic ensemble period (M): {estimate.mean:.2f} "
+          f"+/- {estimate.std:.2f} h over {estimate.n_periods} "
+          "local periods")
+
+    times, means = result.mean_trajectory(0)
+    ascii_plot(times, means, label="ensemble mean of frq mRNA (M)")
+
+    noise = estimate.std / estimate.mean
+    print(f"\nrelative period jitter: {noise:.1%} "
+          "(intrinsic molecular noise at this system size)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which need ``bdist_wheel``) fail.  With this
+shim, ``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``pip install -e .`` on older pips) falls back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

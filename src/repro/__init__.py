@@ -1,0 +1,27 @@
+"""repro: reproduction of the ICDCS 2014 FastFlow/CWC systems-biology paper.
+
+The package is organised as a stack, mirroring the paper:
+
+* :mod:`repro.ff` -- a FastFlow-style pattern-based streaming runtime
+  (nodes, SPSC queues, pipeline, farm, feedback, high-level patterns).
+* :mod:`repro.cwc` -- the Calculus of Wrapped Compartments: terms, rewrite
+  rules, tree matching, the Gillespie stochastic simulation algorithm and
+  an ODE baseline.
+* :mod:`repro.models` -- ready-made biological models (Neurospora circadian
+  clock, Lotka-Volterra, toggle switch, enzyme kinetics).
+* :mod:`repro.sim` -- the simulation pipeline: tasks, quantum-based engines,
+  trajectory alignment.
+* :mod:`repro.analysis` -- on-line analysis: streaming statistics, sliding
+  windows, k-means, peak/period mining.
+* :mod:`repro.pipeline` -- the whole simulation-analysis workflow builder.
+* :mod:`repro.distributed` -- distributed/cloud topologies and network
+  models.
+* :mod:`repro.gpu` -- a SIMT (CUDA-like) execution model with thread
+  divergence, and the mapCUDA offload pattern.
+* :mod:`repro.perfsim` -- a discrete-event performance simulator used to
+  regenerate the paper's figures and tables on modeled platforms.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

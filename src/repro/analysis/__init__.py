@@ -1,0 +1,51 @@
+"""repro.analysis: on-line mining of simulation results (Fig. 2, right).
+
+The analysis pipeline receives the stream of time-aligned cuts, groups
+them into sliding windows, and runs a farm of *statistical engines* over
+the windows: per-cut mean/variance/quantiles, k-means clustering of
+trajectories (to discover multi-stable behaviour), smoothing filters, and
+oscillation-period mining (the quantity the paper's cloud experiment
+reports: "the moving average ... of the local period").
+"""
+
+from repro.analysis.stats import OnlineStats, cut_statistics, CutStatistics
+from repro.analysis.windows import Window, SlidingWindowNode
+from repro.analysis.kmeans import kmeans, KMeansResult
+from repro.analysis.filters import moving_average, exponential_smoothing
+from repro.analysis.peaks import (
+    find_peaks,
+    local_periods,
+    PeriodEstimate,
+    estimate_period,
+)
+from repro.analysis.engines import StatEngineNode, WindowStatistics, GatherNode
+from repro.analysis.histogram import Histogram, histogram
+from repro.analysis.periodogram import (
+    autocorrelation,
+    period_by_autocorrelation,
+    AcfPeriod,
+)
+
+__all__ = [
+    "OnlineStats",
+    "cut_statistics",
+    "CutStatistics",
+    "Window",
+    "SlidingWindowNode",
+    "kmeans",
+    "KMeansResult",
+    "moving_average",
+    "exponential_smoothing",
+    "find_peaks",
+    "local_periods",
+    "PeriodEstimate",
+    "estimate_period",
+    "StatEngineNode",
+    "WindowStatistics",
+    "GatherNode",
+    "Histogram",
+    "histogram",
+    "autocorrelation",
+    "period_by_autocorrelation",
+    "AcfPeriod",
+]

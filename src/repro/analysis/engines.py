@@ -1,0 +1,113 @@
+"""Statistical engines: the workers of the analysis farm (``stat eng``).
+
+Each engine receives a :class:`~repro.analysis.windows.Window` and runs
+the configured analyses over it: per-cut mean/variance/min/max/median,
+optional k-means clustering of the trajectories (on the window's last
+cut), and optional smoothing of the window mean.  Results are gathered,
+re-ordered by window index (the farm runs *ordered*) and streamed toward
+the user interface / storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.filters import moving_average
+from repro.analysis.histogram import Histogram, histogram
+from repro.analysis.kmeans import KMeansResult, kmeans
+from repro.analysis.stats import CutStatistics, cut_statistics
+from repro.analysis.windows import Window
+from repro.ff.node import Node
+
+
+@dataclass
+class WindowStatistics:
+    """Everything one stat engine mined out of one window."""
+
+    window_index: int
+    start_time: float
+    end_time: float
+    #: per-cut summary, in grid order
+    cuts: list[CutStatistics]
+    #: k-means of trajectories at the window's last cut (one per
+    #: observable), when clustering is enabled
+    clusters: dict[int, KMeansResult] = field(default_factory=dict)
+    #: smoothed window mean per observable, when filtering is enabled
+    filtered_mean: dict[int, list[float]] = field(default_factory=dict)
+    #: per-observable population histogram at the window's last cut,
+    #: when histogramming is enabled
+    histograms: dict[int, Histogram] = field(default_factory=dict)
+
+    def mean_series(self, observable: int) -> list[float]:
+        return [c.mean[observable] for c in self.cuts]
+
+    def time_series(self) -> list[float]:
+        return [c.time for c in self.cuts]
+
+
+class StatEngineNode(Node):
+    """Analysis-farm worker; see module docstring.
+
+    ``kmeans_k`` enables trajectory clustering (``None`` disables);
+    ``filter_width`` enables moving-average smoothing of the window mean.
+    """
+
+    def __init__(self, kmeans_k: Optional[int] = None,
+                 filter_width: Optional[int] = None,
+                 histogram_bins: Optional[int] = None,
+                 kmeans_seed: int = 0,
+                 name: str = "stat-eng"):
+        super().__init__(name=name)
+        if kmeans_k is not None and kmeans_k < 1:
+            raise ValueError(f"kmeans_k must be >= 1, got {kmeans_k}")
+        if histogram_bins is not None and histogram_bins < 1:
+            raise ValueError(
+                f"histogram_bins must be >= 1, got {histogram_bins}")
+        self.kmeans_k = kmeans_k
+        self.filter_width = filter_width
+        self.histogram_bins = histogram_bins
+        self.kmeans_seed = kmeans_seed
+        self.windows_processed = 0
+
+    def svc(self, window: Window) -> WindowStatistics:
+        stats = [cut_statistics(cut) for cut in window.cuts]
+        result = WindowStatistics(
+            window_index=window.index,
+            start_time=window.start_time,
+            end_time=window.end_time,
+            cuts=stats)
+        n_observables = len(stats[0].mean) if stats else 0
+        if self.kmeans_k is not None and window.cuts:
+            last = window.cuts[-1]
+            for obs in range(n_observables):
+                points = [(v,) for v in last.observable(obs)]
+                result.clusters[obs] = kmeans(
+                    points, self.kmeans_k, seed=self.kmeans_seed)
+        if self.filter_width is not None:
+            for obs in range(n_observables):
+                result.filtered_mean[obs] = moving_average(
+                    result.mean_series(obs), self.filter_width)
+        if self.histogram_bins is not None and window.cuts:
+            last = window.cuts[-1]
+            for obs in range(n_observables):
+                result.histograms[obs] = histogram(
+                    last.observable(obs), n_bins=self.histogram_bins)
+        self.windows_processed += 1
+        return result
+
+
+class GatherNode(Node):
+    """Analysis-farm collector: counts and forwards results (re-ordering
+    is done by the ordered farm's reorder buffer before this node runs).
+    Keeps the latest result available for a steering front-end."""
+
+    def __init__(self, name: str = "gather"):
+        super().__init__(name=name)
+        self.results_gathered = 0
+        self.latest: Optional[WindowStatistics] = None
+
+    def svc(self, stats: WindowStatistics) -> WindowStatistics:
+        self.results_gathered += 1
+        self.latest = stats
+        return stats

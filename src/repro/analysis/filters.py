@@ -1,0 +1,38 @@
+"""Smoothing filters for trajectory series (the ``filtered simulation
+results`` of Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def moving_average(values: Sequence[float], width: int) -> list[float]:
+    """Centred moving average; the window is truncated at the borders so
+    the output has the same length as the input."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    half = width // 2
+    out = []
+    n = len(values)
+    # prefix sums for O(n)
+    prefix = [0.0]
+    for v in values:
+        prefix.append(prefix[-1] + v)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out.append((prefix[hi] - prefix[lo]) / (hi - lo))
+    return out
+
+
+def exponential_smoothing(values: Sequence[float],
+                          alpha: float) -> list[float]:
+    """First-order exponential smoothing, ``alpha`` in (0, 1]."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out: list[float] = []
+    state: float | None = None
+    for v in values:
+        state = v if state is None else alpha * v + (1 - alpha) * state
+        out.append(state)
+    return out

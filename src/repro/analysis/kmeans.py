@@ -1,0 +1,118 @@
+"""k-means clustering of trajectories (the ``k-means`` stat engine).
+
+Clustering the per-cut (or per-window) trajectory values discovers
+multi-stable behaviour on-line: for a bistable system the cuts separate
+into two clusters long before a human would spot it in raw traces.  The
+implementation is Lloyd's algorithm with k-means++ seeding, on plain
+Python lists (points are short vectors: one value per observable, or a
+window row per trajectory).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class KMeansResult:
+    centroids: list[list[float]]
+    assignments: list[int]
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+    def cluster_sizes(self) -> list[int]:
+        sizes = [0] * len(self.centroids)
+        for a in self.assignments:
+            sizes[a] += 1
+        return sizes
+
+
+def _sq_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def _seed_centroids(points: Sequence[Sequence[float]], k: int,
+                    rng: random.Random) -> list[list[float]]:
+    """k-means++ seeding."""
+    centroids = [list(points[rng.randrange(len(points))])]
+    while len(centroids) < k:
+        distances = [
+            min(_sq_distance(p, c) for c in centroids) for p in points]
+        total = sum(distances)
+        if total <= 0.0:
+            # all points identical to some centroid: duplicate arbitrarily
+            centroids.append(list(points[rng.randrange(len(points))]))
+            continue
+        pick = rng.random() * total
+        acc = 0.0
+        for point, d in zip(points, distances):
+            acc += d
+            if pick < acc:
+                centroids.append(list(point))
+                break
+        else:
+            centroids.append(list(points[-1]))
+    return centroids
+
+
+def kmeans(points: Sequence[Sequence[float]], k: int,
+           max_iterations: int = 50, seed: int | None = 0,
+           tolerance: float = 1e-9) -> KMeansResult:
+    """Lloyd's algorithm; deterministic for a fixed ``seed``.
+
+    ``k`` is clamped to the number of points.  Raises on empty input.
+    """
+    if not points:
+        raise ValueError("kmeans needs at least one point")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, len(points))
+    rng = random.Random(seed)
+    centroids = _seed_centroids(points, k, rng)
+    assignments = [0] * len(points)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        moved = False
+        for i, point in enumerate(points):
+            best, best_d = 0, math.inf
+            for j, centroid in enumerate(centroids):
+                d = _sq_distance(point, centroid)
+                if d < best_d:
+                    best, best_d = j, d
+            if assignments[i] != best:
+                assignments[i] = best
+                moved = True
+        # recompute centroids
+        dims = len(points[0])
+        sums = [[0.0] * dims for _ in range(k)]
+        counts = [0] * k
+        for point, a in zip(points, assignments):
+            counts[a] += 1
+            for d in range(dims):
+                sums[a][d] += point[d]
+        shift = 0.0
+        for j in range(k):
+            if counts[j] == 0:
+                # re-seed an empty cluster at the farthest point
+                far_i = max(range(len(points)),
+                            key=lambda i: _sq_distance(
+                                points[i], centroids[assignments[i]]))
+                new = list(points[far_i])
+            else:
+                new = [s / counts[j] for s in sums[j]]
+            shift += _sq_distance(new, centroids[j])
+            centroids[j] = new
+        if not moved and shift <= tolerance:
+            break
+    inertia = sum(
+        _sq_distance(point, centroids[a])
+        for point, a in zip(points, assignments))
+    return KMeansResult(centroids=centroids, assignments=assignments,
+                        inertia=inertia, iterations=iterations)

@@ -1,0 +1,126 @@
+"""Streaming statistical estimators.
+
+``OnlineStats`` is a Welford accumulator (numerically stable single-pass
+mean/variance); ``cut_statistics`` summarises one trajectory cut across
+all simulations -- the *mean* and *variance* engines of the paper's
+analysis farm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.trajectory import Cut
+
+
+class OnlineStats:
+    """Welford's online mean/variance with min/max tracking."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def push(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs: Iterable[float]) -> "OnlineStats":
+        for x in xs:
+            self.push(x)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 for a single value."""
+        if self.n == 0:
+            return math.nan
+        if self.n == 1:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two accumulators (parallel-reduction friendly)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max = other.min, other.max
+            return self
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self._mean += delta * other.n / total
+        self.n = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data, q in [0, 1]."""
+    if not sorted_values:
+        return math.nan
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass
+class CutStatistics:
+    """Per-observable summary of one cut across all trajectories."""
+
+    grid_index: int
+    time: float
+    n_trajectories: int
+    mean: tuple[float, ...]
+    variance: tuple[float, ...]
+    minimum: tuple[float, ...]
+    maximum: tuple[float, ...]
+    median: tuple[float, ...]
+
+
+def cut_statistics(cut: Cut) -> CutStatistics:
+    """Summarise a cut: the mean/variance engines of the analysis farm."""
+    n_observables = len(cut.values[0]) if cut.values else 0
+    means, variances, mins, maxs, medians = [], [], [], [], []
+    for obs_index in range(n_observables):
+        column = cut.observable(obs_index)
+        acc = OnlineStats().extend(column)
+        means.append(acc.mean)
+        variances.append(acc.variance)
+        mins.append(acc.min)
+        maxs.append(acc.max)
+        medians.append(quantile(sorted(column), 0.5))
+    return CutStatistics(
+        grid_index=cut.grid_index, time=cut.time,
+        n_trajectories=len(cut.values),
+        mean=tuple(means), variance=tuple(variances),
+        minimum=tuple(mins), maximum=tuple(maxs), median=tuple(medians))

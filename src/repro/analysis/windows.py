@@ -1,0 +1,96 @@
+"""Sliding windows of trajectory cuts.
+
+"More complex analysis require the access to the whole dataset, but it is
+difficult to do with an on-line process.  In many cases it is approximated
+by way of sliding windows over the whole dataset" -- this stage is the
+paper's *generation of sliding windows of trajectories* box: it buffers
+the cut stream and emits overlapping :class:`Window` objects of ``size``
+cuts every ``slide`` cuts, each independently analysable (hence
+parallelisable across the statistical-engine farm).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.ff.node import GO_ON, Node
+from repro.sim.trajectory import Cut
+
+
+@dataclass
+class Window:
+    """``size`` consecutive cuts; ``index`` counts emitted windows."""
+
+    index: int
+    cuts: list[Cut]
+
+    @property
+    def start_time(self) -> float:
+        return self.cuts[0].time
+
+    @property
+    def end_time(self) -> float:
+        return self.cuts[-1].time
+
+    def trajectory_matrix(self, observable: int) -> list[list[float]]:
+        """``matrix[trajectory][cut]`` for one observable -- the per-window
+        view a k-means engine clusters."""
+        n_trajectories = self.cuts[0].n_trajectories
+        return [
+            [cut.values[trajectory][observable] for cut in self.cuts]
+            for trajectory in range(n_trajectories)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.cuts)
+
+
+class SlidingWindowNode(Node):
+    """Re-frame the cut stream into overlapping windows.
+
+    With ``emit_partial_tail=True`` a final, shorter window is emitted at
+    end-of-stream if some cuts never filled a whole window (so short runs
+    still produce output).
+    """
+
+    def __init__(self, size: int, slide: int | None = None,
+                 emit_partial_tail: bool = True, name: str = "windows"):
+        super().__init__(name=name)
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        self.size = size
+        self.slide = slide if slide is not None else size
+        if self.slide < 1 or self.slide > size:
+            raise ValueError(
+                f"slide must be in [1, size], got {self.slide}")
+        self.emit_partial_tail = emit_partial_tail
+        self._buffer: deque[Cut] = deque()
+        self._emitted = 0
+        self._since_last_emit = 0
+        self._saw_any = False
+
+    def svc(self, cut: Cut):
+        self._buffer.append(cut)
+        self._saw_any = True
+        if len(self._buffer) > self.size:
+            raise AssertionError("window buffer overflow (internal bug)")
+        if len(self._buffer) == self.size:
+            self.ff_send_out(Window(self._emitted, list(self._buffer)))
+            self._emitted += 1
+            for _ in range(self.slide):
+                if self._buffer:
+                    self._buffer.popleft()
+        return GO_ON
+
+    def svc_end(self) -> None:
+        if (self.emit_partial_tail and self._buffer
+                and (self._emitted == 0 or self.slide == self.size
+                     or len(self._buffer) > self.size - self.slide)):
+            self.ff_send_out(Window(self._emitted, list(self._buffer)))
+            self._emitted += 1
+        self._buffer.clear()
+
+    @property
+    def windows_emitted(self) -> int:
+        return self._emitted

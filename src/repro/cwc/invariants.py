@@ -1,0 +1,133 @@
+"""Structural analysis of reaction networks: conservation laws.
+
+A *conservation law* (P-invariant) is an integer weighting of species
+left unchanged by every reaction -- e.g. ``E + ES`` in Michaelis-Menten
+kinetics, or ``a + 2 d`` in a dimerisation.  Laws are the left null space
+of the stoichiometry matrix; we compute a basis exactly over the
+rationals (Fraction Gaussian elimination) and scale it to primitive
+integer vectors.
+
+They serve two purposes here: model sanity checks at build time
+(:func:`verify_conservation`) and strong test oracles -- the simulators
+must preserve every law exactly, step by step.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Sequence
+
+from repro.cwc.network import ReactionNetwork
+
+
+def stoichiometry_matrix(network: ReactionNetwork
+                         ) -> tuple[list[list[int]], tuple[str, ...]]:
+    """Net stoichiometry: rows = species, columns = reactions."""
+    species = network.species
+    index = {s: i for i, s in enumerate(species)}
+    matrix = [[0] * len(network.reactions) for _ in species]
+    for j, reaction in enumerate(network.reactions):
+        for name, count in reaction.reactants:
+            matrix[index[name]][j] -= count
+        for name, count in reaction.products:
+            matrix[index[name]][j] += count
+    return matrix, species
+
+
+def _nullspace_left(matrix: list[list[int]]) -> list[list[Fraction]]:
+    """Basis of {y : y^T M = 0} over the rationals."""
+    # left null space of M == null space of M^T
+    n_rows = len(matrix)
+    n_cols = len(matrix[0]) if matrix else 0
+    # build M^T as Fractions
+    a = [[Fraction(matrix[i][j]) for i in range(n_rows)]
+         for j in range(n_cols)]
+    # Gauss-Jordan on a (n_cols x n_rows)
+    pivots: list[int] = []
+    row = 0
+    for col in range(n_rows):
+        pivot_row = next((r for r in range(row, len(a)) if a[r][col] != 0),
+                         None)
+        if pivot_row is None:
+            continue
+        a[row], a[pivot_row] = a[pivot_row], a[row]
+        pivot_value = a[row][col]
+        a[row] = [x / pivot_value for x in a[row]]
+        for r in range(len(a)):
+            if r != row and a[r][col] != 0:
+                factor = a[r][col]
+                a[r] = [x - factor * y for x, y in zip(a[r], a[row])]
+        pivots.append(col)
+        row += 1
+        if row == len(a):
+            break
+    free = [c for c in range(n_rows) if c not in pivots]
+    basis = []
+    for f in free:
+        vector = [Fraction(0)] * n_rows
+        vector[f] = Fraction(1)
+        for r, p in enumerate(pivots):
+            vector[p] = -a[r][f]
+        basis.append(vector)
+    return basis
+
+
+def conservation_laws(network: ReactionNetwork) -> list[dict[str, int]]:
+    """Primitive integer conservation laws of the network.
+
+    Returns one ``{species: weight}`` dict per basis vector of the left
+    null space (weights scaled to coprime integers, leading weight
+    positive).  An empty list means nothing is conserved.
+    """
+    matrix, species = stoichiometry_matrix(network)
+    laws = []
+    for vector in _nullspace_left(matrix):
+        denominator = 1
+        for x in vector:
+            denominator = denominator * x.denominator // gcd(
+                denominator, x.denominator)
+        ints = [int(x * denominator) for x in vector]
+        divisor = 0
+        for x in ints:
+            divisor = gcd(divisor, abs(x))
+        if divisor > 1:
+            ints = [x // divisor for x in ints]
+        leading = next((x for x in ints if x != 0), 1)
+        if leading < 0:
+            ints = [-x for x in ints]
+        laws.append({s: w for s, w in zip(species, ints) if w != 0})
+    return laws
+
+
+def evaluate_law(law: dict[str, int], counts: "dict[str, float]") -> float:
+    """The conserved quantity's value in a given state."""
+    return sum(w * counts.get(s, 0) for s, w in law.items())
+
+
+def verify_conservation(network: ReactionNetwork,
+                        samples: Sequence[Sequence[float]],
+                        observables: Sequence[str] | None = None,
+                        tolerance: float = 1e-9) -> bool:
+    """Check every law against a sampled trajectory.
+
+    ``samples`` rows must align with ``observables`` (default: the
+    network's observables).  Only laws fully expressible in the observed
+    species are checked.  Returns True when all hold; raises ValueError
+    naming the violated law otherwise.
+    """
+    names = tuple(observables) if observables else network.observables
+    for law in conservation_laws(network):
+        if not set(law).issubset(names):
+            continue
+        reference = None
+        for row in samples:
+            counts = dict(zip(names, row))
+            value = evaluate_law(law, counts)
+            if reference is None:
+                reference = value
+            elif abs(value - reference) > tolerance:
+                raise ValueError(
+                    f"conservation law {law} violated: "
+                    f"{value} != {reference}")
+    return True

@@ -1,0 +1,132 @@
+"""Tree matching for CWC rules: multiplicity counting and match selection.
+
+The Gillespie algorithm needs, for every rule and every context compartment,
+the *number of distinct reactant combinations* ``h`` (the match
+multiplicity); and, once a rule fires, one concrete match drawn uniformly
+among those combinations.
+
+For the simple-term fragment the multiplicity factorises:
+
+* atoms at context level contribute the product of per-species binomial
+  coefficients;
+* each compartment pattern must be assigned to a distinct child
+  compartment; a candidate child contributes
+  ``C(child.wrap, pat.wrap) * C(child.content, pat.content)`` ways;
+  the total over patterns is the permanent-like sum over injective
+  assignments, which we enumerate exactly (rules have few compartment
+  patterns -- the enumeration is over assignments, not over atoms).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cwc.rule import Pattern, CompartmentPattern
+from repro.cwc.term import Compartment, Term
+
+
+@dataclass
+class Match:
+    """One concrete way a pattern matched inside ``context``."""
+
+    context: Term
+    #: children chosen for each compartment pattern, in pattern order
+    children: tuple[Compartment, ...]
+    #: number of atom-level combinations represented by this assignment
+    weight: int
+
+
+def _candidate_ways(pattern: CompartmentPattern, child: Compartment) -> int:
+    """Ways ``pattern`` matches ``child`` (0 when it does not match)."""
+    if child.label != pattern.label:
+        return 0
+    wrap_ways = child.wrap.combinations(pattern.wrap)
+    if wrap_ways == 0:
+        return 0
+    content_ways = child.content.atoms.combinations(pattern.content)
+    if content_ways == 0:
+        return 0
+    return wrap_ways * content_ways
+
+
+def _assignments(patterns: Sequence[CompartmentPattern],
+                 children: Sequence[Compartment]):
+    """Yield ``(children_tuple, ways_product)`` for every injective
+    assignment of patterns to distinct children."""
+    n = len(patterns)
+    if n == 0:
+        yield (), 1
+        return
+    ways_matrix = [
+        [(_candidate_ways(pat, child), child) for child in children]
+        for pat in patterns
+    ]
+
+    chosen: list[Compartment] = []
+    used: set[int] = set()
+
+    def backtrack(i: int, acc: int):
+        if i == n:
+            yield tuple(chosen), acc
+            return
+        for j, (ways, child) in enumerate(ways_matrix[i]):
+            if ways == 0 or j in used:
+                continue
+            used.add(j)
+            chosen.append(child)
+            yield from backtrack(i + 1, acc * ways)
+            chosen.pop()
+            used.discard(j)
+
+    yield from backtrack(0, 1)
+
+
+def match_multiplicity(pattern: Pattern, context: Term) -> int:
+    """Gillespie's ``h``: the number of distinct reactant combinations for
+    ``pattern`` in ``context`` (1 for an empty pattern)."""
+    atom_ways = context.atoms.combinations(pattern.atoms)
+    if atom_ways == 0:
+        return 0
+    if not pattern.compartments:
+        return atom_ways
+    total = 0
+    for _, ways in _assignments(pattern.compartments, context.compartments):
+        total += ways
+    return atom_ways * total
+
+
+def enumerate_matches(pattern: Pattern, context: Term) -> list[Match]:
+    """All distinct compartment assignments, each carrying its weight
+    (atom-level combinations are never enumerated -- atoms of one species
+    are indistinguishable, so they only contribute to the weight)."""
+    atom_ways = context.atoms.combinations(pattern.atoms)
+    if atom_ways == 0:
+        return []
+    matches = []
+    for children, ways in _assignments(pattern.compartments,
+                                       context.compartments):
+        matches.append(Match(context=context, children=children,
+                             weight=atom_ways * ways))
+    return matches
+
+
+def select_match(pattern: Pattern, context: Term,
+                 rng: random.Random) -> Optional[Match]:
+    """Draw one concrete match with probability proportional to its
+    weight, or ``None`` when the pattern does not match."""
+    matches = enumerate_matches(pattern, context)
+    if not matches:
+        return None
+    if len(matches) == 1:
+        return matches[0]
+    weights = [m.weight for m in matches]
+    total = sum(weights)
+    pick = rng.random() * total
+    acc = 0.0
+    for match, weight in zip(matches, weights):
+        acc += weight
+        if pick < acc:
+            return match
+    return matches[-1]

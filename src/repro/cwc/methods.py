@@ -1,0 +1,205 @@
+"""Alternative stochastic simulation methods.
+
+The paper's simulator implements Gillespie's *direct* method; StochKit
+(the baseline it cites) "remain[s] open to extension via new stochastic
+and multi-scale algorithms".  This module provides two such extensions
+for flat networks:
+
+* :class:`FirstReactionSimulator` -- Gillespie's first-reaction method:
+  draw one exponential clock per reaction, fire the earliest.  Exactly
+  equivalent in distribution to the direct method (and used as a
+  cross-validation oracle in the tests).
+* :class:`TauLeapSimulator` -- explicit tau-leaping (Gillespie 2001 with
+  the Cao-Gillespie-Petzold step-size control): advance by a leap
+  ``tau`` firing ``Poisson(a_j * tau)`` copies of each reaction at once.
+  Approximate but much faster for large populations; falls back to exact
+  SSA steps when the leap would be smaller than a few SSA steps, and
+  rejects/halves leaps that would drive a population negative.
+
+Both expose the common trajectory interface (``time``, ``steps``,
+``advance``, ``run``, ``observe``) so they can be farmed by the pipeline
+like any other engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+import numpy as np
+
+from repro.cwc.gillespie import SSAResult
+from repro.cwc.network import FlatSimulator, ReactionNetwork
+
+
+class FirstReactionSimulator(FlatSimulator):
+    """Gillespie's first-reaction method (exact)."""
+
+    def step(self, t_max: float = math.inf) -> bool:
+        best_tau = math.inf
+        best_reaction = None
+        for reaction in self.network.reactions:
+            a = reaction.propensity(self.counts)
+            if a <= 0.0:
+                continue
+            tau = self.rng.expovariate(a)
+            if tau < best_tau:
+                best_tau = tau
+                best_reaction = reaction
+        if best_reaction is None:
+            if t_max < math.inf:
+                self.time = max(self.time, t_max)
+            return False
+        if self.time + best_tau > t_max:
+            self.time = t_max
+            return False
+        best_reaction.apply(self.counts)
+        self.time += best_tau
+        self.steps += 1
+        return True
+
+
+class TauLeapSimulator:
+    """Explicit tau-leaping (approximate, accelerated).
+
+    ``epsilon`` bounds the relative change of any propensity within one
+    leap (smaller = more accurate, slower).  ``ssa_threshold`` switches
+    to exact SSA steps when the selected leap is shorter than that many
+    expected SSA steps (the standard hybrid rule).
+    """
+
+    def __init__(self, network: ReactionNetwork, seed: Optional[int] = None,
+                 epsilon: float = 0.03, ssa_threshold: float = 10.0):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.network = network
+        self.counts: dict[str, int] = dict(network.initial)
+        for species in network.species:
+            self.counts.setdefault(species, 0)
+        self.time = 0.0
+        self.steps = 0       # reaction firings (sum of leap counts)
+        self.leaps = 0
+        self.exact_steps = 0
+        self.epsilon = epsilon
+        self.ssa_threshold = ssa_threshold
+        self.rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(
+            seed if seed is not None else None)
+        self._exact = FlatSimulator(network, seed=seed)
+        self._exact.counts = self.counts  # share state
+        # net stoichiometry per reaction as dicts
+        self._net = []
+        for reaction in network.reactions:
+            net: dict[str, int] = {}
+            for s, c in reaction.reactants:
+                net[s] = net.get(s, 0) - c
+            for s, c in reaction.products:
+                net[s] = net.get(s, 0) + c
+            self._net.append(net)
+
+    # ------------------------------------------------------------------
+    def _select_tau(self, propensities: list[float]) -> float:
+        """Cao-Gillespie-Petzold step-size control (species-based)."""
+        mu: dict[str, float] = {}
+        sigma2: dict[str, float] = {}
+        for net, a in zip(self._net, propensities):
+            if a <= 0.0:
+                continue
+            for species, change in net.items():
+                mu[species] = mu.get(species, 0.0) + change * a
+                sigma2[species] = sigma2.get(species, 0.0) + change * change * a
+        tau = math.inf
+        for species, m in mu.items():
+            x = self.counts.get(species, 0)
+            bound = max(self.epsilon * x, 1.0)
+            if m != 0.0:
+                tau = min(tau, bound / abs(m))
+            s2 = sigma2.get(species, 0.0)
+            if s2 > 0.0:
+                tau = min(tau, bound * bound / s2)
+        return tau
+
+    def step(self, t_max: float = math.inf) -> bool:
+        """One leap (or one exact SSA step in the hybrid regime)."""
+        propensities = [r.propensity(self.counts)
+                        for r in self.network.reactions]
+        total = sum(propensities)
+        if total <= 0.0:
+            if t_max < math.inf:
+                self.time = max(self.time, t_max)
+            return False
+        tau = self._select_tau(propensities)
+        if tau < self.ssa_threshold / total:
+            # leap not worth it: take one exact step
+            self._exact.time = self.time
+            self._exact.steps = 0
+            fired = self._exact.step(t_max=t_max)
+            self.time = self._exact.time
+            if fired:
+                self.steps += 1
+                self.exact_steps += 1
+            return fired
+        tau = min(tau, t_max - self.time)
+        if tau <= 0.0:
+            self.time = t_max
+            return False
+        for _attempt in range(30):
+            fires = [
+                int(self._np_rng.poisson(a * tau)) if a > 0.0 else 0
+                for a in propensities
+            ]
+            new_counts = dict(self.counts)
+            for net, k in zip(self._net, fires):
+                if k == 0:
+                    continue
+                for species, change in net.items():
+                    new_counts[species] = new_counts.get(species, 0) + change * k
+            if all(v >= 0 for v in new_counts.values()):
+                self.counts.clear()
+                self.counts.update(new_counts)
+                self.time += tau
+                self.steps += sum(fires)
+                self.leaps += 1
+                return True
+            tau /= 2.0  # rejected: would go negative; halve and retry
+        # could not find a safe leap: take one exact step instead
+        self._exact.time = self.time
+        fired = self._exact.step(t_max=t_max)
+        self.time = self._exact.time
+        if fired:
+            self.steps += 1
+            self.exact_steps += 1
+        return fired
+
+    def advance(self, quantum: float) -> float:
+        target = self.time + quantum
+        while self.time < target:
+            if not self.step(t_max=target):
+                break
+        return self.time
+
+    def observe(self) -> tuple[float, ...]:
+        return tuple(float(self.counts[s]) for s in self.network.observables)
+
+    @property
+    def observable_names(self) -> tuple[str, ...]:
+        return self.network.observables
+
+    def run(self, t_end: float, sample_every: float) -> SSAResult:
+        result = SSAResult(model_name=self.network.name,
+                           observable_names=self.network.observables)
+        next_sample = self.time
+        while True:
+            result.times.append(next_sample)
+            result.samples.append(self.observe())
+            if next_sample >= t_end:
+                break
+            next_sample = min(next_sample + sample_every, t_end)
+            self.advance(next_sample - self.time)
+        result.steps = self.steps
+        return result
+
+    def __repr__(self) -> str:
+        return (f"<TauLeapSimulator {self.network.name!r} t={self.time:.4g} "
+                f"leaps={self.leaps} exact={self.exact_steps}>")

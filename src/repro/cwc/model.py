@@ -1,0 +1,114 @@
+"""A CWC model: initial term, rewrite rules, and observables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cwc.multiset import Multiset
+from repro.cwc.rule import Rule
+from repro.cwc.term import TOP, Term
+
+
+@dataclass(frozen=True)
+class Observable:
+    """A named quantity sampled along a trajectory.
+
+    ``species`` is counted recursively over the whole term; ``label``
+    restricts the count to the content of compartments with that label
+    (``None`` counts everywhere, wraps included).
+    """
+
+    name: str
+    species: str
+    label: Optional[str] = None
+
+
+class Model:
+    """A complete CWC model, ready to be simulated.
+
+    >>> from repro.cwc import Model, Rule
+    >>> model = Model("dimer", term="2*a", rules=[Rule.flat("bind", "a a", "d", 1.0)],
+    ...               observables=["a", "d"])
+    >>> model.observable_names
+    ('a', 'd')
+    """
+
+    def __init__(self, name: str, term: "Term | Multiset | str",
+                 rules: Iterable[Rule],
+                 observables: Iterable["Observable | str"] = ()):
+        self.name = name
+        if isinstance(term, str):
+            term = Term(Multiset.from_string(term))
+        elif isinstance(term, Multiset):
+            term = Term(term)
+        self.term = term
+        self.rules: tuple[Rule, ...] = tuple(rules)
+        if not self.rules:
+            raise ValueError(f"model {name!r} has no rules")
+        obs: list[Observable] = []
+        for o in observables:
+            if isinstance(o, str):
+                obs.append(Observable(name=o, species=o))
+            else:
+                obs.append(o)
+        if not obs:
+            obs = [Observable(name=s, species=s) for s in self.species()]
+        self.observables: tuple[Observable, ...] = tuple(obs)
+        self._rules_by_context: dict[str, tuple[Rule, ...]] = {}
+        for rule in self.rules:
+            self._rules_by_context.setdefault(rule.context, ())
+        for context in self._rules_by_context:
+            self._rules_by_context[context] = tuple(
+                r for r in self.rules if r.context == context)
+
+    @property
+    def observable_names(self) -> tuple[str, ...]:
+        return tuple(o.name for o in self.observables)
+
+    def rules_for(self, context_label: str) -> tuple[Rule, ...]:
+        return self._rules_by_context.get(context_label, ())
+
+    @property
+    def contexts(self) -> tuple[str, ...]:
+        return tuple(self._rules_by_context)
+
+    def species(self) -> tuple[str, ...]:
+        """Every species mentioned by the initial term or any rule."""
+        seen: set[str] = set()
+        for term in self.term.walk_terms():
+            seen.update(term.atoms.species())
+            if term.owner is not None:
+                seen.update(term.owner.wrap.species())
+        for rule in self.rules:
+            seen.update(rule.lhs.atoms.species())
+            seen.update(rule.rhs.atoms.species())
+            for cp in rule.lhs.compartments:
+                seen.update(cp.wrap.species())
+                seen.update(cp.content.species())
+            for cr in rule.rhs.compartments:
+                seen.update(cr.add_wrap.species())
+                seen.update(cr.add_content.species())
+        return tuple(sorted(seen))
+
+    def is_flat(self) -> bool:
+        """True when neither the term nor any rule uses compartments, so
+        the model admits the flat (plain-Gillespie) fast path."""
+        if self.term.compartments:
+            return False
+        for rule in self.rules:
+            if rule.context != TOP:
+                return False
+            if rule.lhs.compartments or rule.rhs.compartments:
+                return False
+        return True
+
+    def measure(self, term: Term) -> tuple[float, ...]:
+        """Evaluate every observable against ``term``."""
+        return tuple(
+            term.count(o.species, recursive=True, label=o.label)
+            for o in self.observables)
+
+    def __repr__(self) -> str:
+        return (f"<Model {self.name!r}: {len(self.rules)} rules, "
+                f"{len(self.observables)} observables>")

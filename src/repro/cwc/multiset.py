@@ -1,0 +1,179 @@
+"""Counted multisets of atomic species.
+
+The CWC building block: both compartment wraps and compartment contents are
+multisets of atoms.  The implementation is a thin, explicit wrapper over a
+``dict[str, int]`` with the operations the calculus needs -- submultiset
+tests, union/difference, and the binomial *combination count* used by the
+Gillespie algorithm to compute reaction multiplicities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+
+class Multiset:
+    """A multiset of species names with non-negative counts.
+
+    Zero-count entries are never stored, so equality and iteration are
+    canonical.  The class is mutable (the simulator rewrites terms in
+    place); :meth:`frozen` yields a hashable snapshot.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, items: Mapping[str, int] | Iterable[str] | None = None):
+        self._counts: dict[str, int] = {}
+        if items is None:
+            return
+        if isinstance(items, Multiset):
+            self._counts.update(items._counts)
+        elif isinstance(items, Mapping):
+            for species, count in items.items():
+                self.add(species, count)
+        else:
+            for species in items:
+                self.add(species)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Multiset":
+        """Parse a whitespace-separated atom list, with optional ``n*a``
+        repetition syntax: ``"a a b"`` == ``"2*a b"``."""
+        ms = cls()
+        for token in text.split():
+            if "*" in token:
+                count_text, species = token.split("*", 1)
+                ms.add(species, int(count_text))
+            else:
+                ms.add(token)
+        return ms
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, species: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"cannot add negative count {count} of {species!r}")
+        if count == 0:
+            return
+        self._counts[species] = self._counts.get(species, 0) + count
+
+    def remove(self, species: str, count: int = 1) -> None:
+        have = self._counts.get(species, 0)
+        if count > have:
+            raise ValueError(
+                f"cannot remove {count} of {species!r}: only {have} present")
+        if count == have:
+            self._counts.pop(species, None)
+        else:
+            self._counts[species] = have - count
+
+    def add_all(self, other: "Multiset | Mapping[str, int]") -> None:
+        items = other._counts if isinstance(other, Multiset) else other
+        for species, count in items.items():
+            self.add(species, count)
+
+    def remove_all(self, other: "Multiset | Mapping[str, int]") -> None:
+        items = other._counts if isinstance(other, Multiset) else other
+        if not self.contains(other):
+            raise ValueError(f"{other!r} is not a submultiset of {self!r}")
+        for species, count in items.items():
+            self.remove(species, count)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, species: str) -> int:
+        return self._counts.get(species, 0)
+
+    def __getitem__(self, species: str) -> int:
+        return self._counts.get(species, 0)
+
+    def __contains__(self, species: str) -> bool:
+        return species in self._counts
+
+    def contains(self, other: "Multiset | Mapping[str, int]") -> bool:
+        """Submultiset test: every count in ``other`` is available here."""
+        items = other._counts if isinstance(other, Multiset) else other
+        return all(self._counts.get(s, 0) >= c for s, c in items.items())
+
+    def combinations(self, other: "Multiset") -> int:
+        """Number of distinct ways to draw ``other`` out of this multiset:
+        the product of per-species binomial coefficients.  This is
+        Gillespie's ``h`` for mass-action multiplicities; it is 0 when
+        ``other`` is not contained and 1 when ``other`` is empty."""
+        result = 1
+        for species, need in other._counts.items():
+            have = self._counts.get(species, 0)
+            if have < need:
+                return 0
+            result *= math.comb(have, need)
+        return result
+
+    def species(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(self._counts.items())
+
+    def total(self) -> int:
+        """Total number of atoms (counted with multiplicity)."""
+        return sum(self._counts.values())
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    def copy(self) -> "Multiset":
+        return Multiset(self._counts)
+
+    def frozen(self) -> frozenset[tuple[str, int]]:
+        """A hashable canonical snapshot."""
+        return frozenset(self._counts.items())
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Multiset") -> "Multiset":
+        out = self.copy()
+        out.add_all(other)
+        return out
+
+    def __sub__(self, other: "Multiset") -> "Multiset":
+        out = self.copy()
+        out.remove_all(other)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self._counts == other._counts
+        return NotImplemented
+
+    def __len__(self) -> int:
+        """Number of distinct species present."""
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate atoms with multiplicity (``a a b`` yields three items)."""
+        for species, count in self._counts.items():
+            for _ in range(count):
+                yield species
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "Multiset()"
+        inner = " ".join(
+            species if count == 1 else f"{count}*{species}"
+            for species, count in sorted(self._counts.items()))
+        return f"Multiset({inner!r})"
+
+    def __str__(self) -> str:
+        return " ".join(
+            species if count == 1 else f"{count}*{species}"
+            for species, count in sorted(self._counts.items())) or "•"

@@ -1,0 +1,228 @@
+"""Flat reaction networks: the plain-Gillespie baseline and fast path.
+
+The paper compares the CWC simulator against plain Gillespie simulators
+(StochKit and GPU SSA implementations): a flat model has no compartments,
+so state is just a species-count vector and the SSA inner loop avoids tree
+matching entirely.  :class:`FlatSimulator` implements that baseline; for
+any compartment-free :class:`~repro.cwc.model.Model` it is the
+behaviourally identical fast path (:func:`ReactionNetwork.from_model`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from repro.cwc.gillespie import SSAResult
+from repro.cwc.model import Model
+from repro.cwc.multiset import Multiset
+
+
+class StateView:
+    """Read-only count accessor handed to functional rate laws.
+
+    Implements the same ``count``/``__getitem__`` protocol as
+    :class:`repro.cwc.rule.ContextView`, so one rate-law object works with
+    both engines.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: dict[str, int]):
+        self._counts = counts
+
+    def count(self, species: str) -> int:
+        return self._counts.get(species, 0)
+
+    def __getitem__(self, species: str) -> int:
+        return self._counts.get(species, 0)
+
+
+RateLaw = Union[float, int, Callable[[StateView], float]]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """``reactants -> products`` with a mass-action constant or a rate law."""
+
+    name: str
+    reactants: tuple[tuple[str, int], ...]
+    products: tuple[tuple[str, int], ...]
+    rate: RateLaw
+
+    @classmethod
+    def make(cls, name: str, reactants: "Mapping[str, int] | str",
+             products: "Mapping[str, int] | str", rate: RateLaw) -> "Reaction":
+        def norm(spec) -> tuple[tuple[str, int], ...]:
+            if isinstance(spec, str):
+                spec = dict(Multiset.from_string(spec).items())
+            return tuple(sorted(spec.items()))
+        return cls(name, norm(reactants), norm(products), rate)
+
+    def propensity(self, counts: dict[str, int]) -> float:
+        """Mass-action: ``k * prod C(n_i, m_i)``.  Functional rates give
+        the *full* propensity themselves (the reactant list only defines
+        what is consumed and gates the reaction on availability)."""
+        h = 1
+        for species, need in self.reactants:
+            have = counts.get(species, 0)
+            if have < need:
+                return 0.0
+            h *= math.comb(have, need)
+        if callable(self.rate):
+            return self.rate(StateView(counts))
+        return self.rate * h
+
+    def apply(self, counts: dict[str, int]) -> None:
+        for species, need in self.reactants:
+            counts[species] = counts.get(species, 0) - need
+        for species, made in self.products:
+            counts[species] = counts.get(species, 0) + made
+
+
+class ReactionNetwork:
+    """A set of species with initial counts plus reactions."""
+
+    def __init__(self, name: str, initial: "Mapping[str, int] | str",
+                 reactions: Sequence[Reaction],
+                 observables: Sequence[str] | None = None):
+        self.name = name
+        if isinstance(initial, str):
+            initial = dict(Multiset.from_string(initial).items())
+        self.initial: dict[str, int] = dict(initial)
+        self.reactions: tuple[Reaction, ...] = tuple(reactions)
+        if not self.reactions:
+            raise ValueError(f"network {name!r} has no reactions")
+        species: set[str] = set(self.initial)
+        for r in self.reactions:
+            species.update(s for s, _ in r.reactants)
+            species.update(s for s, _ in r.products)
+        self.species: tuple[str, ...] = tuple(sorted(species))
+        self.observables: tuple[str, ...] = (
+            tuple(observables) if observables else self.species)
+        unknown = set(self.observables) - set(self.species)
+        if unknown:
+            raise ValueError(f"unknown observables: {sorted(unknown)}")
+
+    @classmethod
+    def from_model(cls, model: Model) -> "ReactionNetwork":
+        """Flatten a compartment-free CWC model into a reaction network.
+
+        Raises ``ValueError`` when the model uses compartments anywhere.
+        """
+        if not model.is_flat():
+            raise ValueError(
+                f"model {model.name!r} uses compartments; "
+                "the flat fast path does not apply")
+        reactions = [
+            Reaction.make(rule.name,
+                          dict(rule.lhs.atoms.items()),
+                          dict(rule.rhs.atoms.items()),
+                          rule.rate)
+            for rule in model.rules
+        ]
+        initial = dict(model.term.atoms.items())
+        observables = [o.species for o in model.observables]
+        return cls(model.name, initial, reactions, observables)
+
+
+class FlatSimulator:
+    """Plain Gillespie direct method on a species-count vector.
+
+    Exposes the same trajectory interface as
+    :class:`~repro.cwc.gillespie.CWCSimulator` (``time``, ``steps``,
+    ``advance``, ``run``, ``observe``), so the simulation pipeline can farm
+    either engine interchangeably.
+    """
+
+    def __init__(self, network: ReactionNetwork, seed: Optional[int] = None):
+        self.network = network
+        self.counts: dict[str, int] = dict(network.initial)
+        for species in network.species:
+            self.counts.setdefault(species, 0)
+        self.time = 0.0
+        self.steps = 0
+        self.rng = random.Random(seed)
+
+    @property
+    def model(self) -> ReactionNetwork:
+        return self.network
+
+    def step(self, t_max: float = math.inf) -> bool:
+        """One SSA step; see :meth:`CWCSimulator.step` for semantics."""
+        propensities = [r.propensity(self.counts) for r in self.network.reactions]
+        total = sum(propensities)
+        if total <= 0.0:
+            if t_max < math.inf:
+                self.time = max(self.time, t_max)
+            return False
+        tau = self.rng.expovariate(total)
+        if self.time + tau > t_max:
+            self.time = t_max
+            return False
+        pick = self.rng.random() * total
+        acc = 0.0
+        chosen = self.network.reactions[-1]
+        for reaction, a in zip(self.network.reactions, propensities):
+            acc += a
+            if pick < acc:
+                chosen = reaction
+                break
+        chosen.apply(self.counts)
+        self.time += tau
+        self.steps += 1
+        return True
+
+    def advance(self, quantum: float) -> float:
+        target = self.time + quantum
+        while self.time < target:
+            if not self.step(t_max=target):
+                break
+        return self.time
+
+    def observe(self) -> tuple[float, ...]:
+        return tuple(float(self.counts[s]) for s in self.network.observables)
+
+    @property
+    def observable_names(self) -> tuple[str, ...]:
+        return self.network.observables
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A checkpoint of the full simulator state (including the RNG),
+        suitable for exact resumption via :meth:`restore`."""
+        return {
+            "counts": dict(self.counts),
+            "time": self.time,
+            "steps": self.steps,
+            "rng": self.rng.getstate(),
+        }
+
+    def restore(self, checkpoint: dict) -> None:
+        """Resume exactly from a :meth:`snapshot`."""
+        self.counts = dict(checkpoint["counts"])
+        self.time = checkpoint["time"]
+        self.steps = checkpoint["steps"]
+        self.rng.setstate(checkpoint["rng"])
+
+    def run(self, t_end: float, sample_every: float) -> SSAResult:
+        result = SSAResult(model_name=self.network.name,
+                           observable_names=self.network.observables)
+        next_sample = self.time
+        while True:
+            result.times.append(next_sample)
+            result.samples.append(self.observe())
+            if next_sample >= t_end:
+                break
+            next_sample = min(next_sample + sample_every, t_end)
+            self.advance(next_sample - self.time)
+        result.steps = self.steps
+        return result
+
+    def __repr__(self) -> str:
+        return (f"<FlatSimulator {self.network.name!r} t={self.time:.4g} "
+                f"steps={self.steps}>")

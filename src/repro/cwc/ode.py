@@ -1,0 +1,140 @@
+"""Deterministic ODE baseline for reaction networks.
+
+The paper's introduction positions stochastic simulation against ODE
+modelling: ODEs describe the mean-field behaviour but miss transient and
+multi-stable dynamics.  This module integrates the mass-action /
+law-based ODEs derived from a :class:`~repro.cwc.network.ReactionNetwork`,
+so examples and tests can compare SSA ensemble averages against the
+deterministic limit.
+
+A fixed-step RK4 integrator is built in (no dependencies); when scipy is
+available, ``integrate_ode(..., method="rk45")`` uses its adaptive solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cwc.network import ReactionNetwork, StateView
+
+
+@dataclass
+class ODEResult:
+    """Deterministic trajectory on a regular grid."""
+
+    species: tuple[str, ...]
+    times: list[float]
+    values: list[tuple[float, ...]]
+
+    def column(self, name: str) -> list[float]:
+        idx = self.species.index(name)
+        return [v[idx] for v in self.values]
+
+
+class _ContinuousView(StateView):
+    """StateView over float concentrations (rate laws use ``count``)."""
+
+
+def _derivatives(network: ReactionNetwork,
+                 state: dict[str, float]) -> dict[str, float]:
+    deriv = {s: 0.0 for s in network.species}
+    view = _ContinuousView(state)  # type: ignore[arg-type]
+    for reaction in network.reactions:
+        # deterministic flux: k * prod(x_i^n_i) for mass action, or the
+        # rate law evaluated on continuous state times the same product
+        if callable(reaction.rate):
+            # functional rates give the full flux themselves
+            flux = reaction.rate(view)
+        else:
+            flux = reaction.rate
+            for species, need in reaction.reactants:
+                x = state.get(species, 0.0)
+                if x <= 0.0:
+                    flux = 0.0
+                    break
+                flux *= x ** need / math.factorial(need)
+            if flux == 0.0 and reaction.reactants:
+                continue
+        for species, need in reaction.reactants:
+            deriv[species] -= need * flux
+        for species, made in reaction.products:
+            deriv[species] += made * flux
+    return deriv
+
+
+def integrate_ode(network: ReactionNetwork, t_end: float,
+                  sample_every: float, dt: float | None = None,
+                  initial: Sequence[float] | None = None,
+                  method: str = "rk4") -> ODEResult:
+    """Integrate the network's mean-field ODEs from its initial counts.
+
+    ``dt`` is the RK4 step (default: ``sample_every / 20``).
+    """
+    state = {s: float(network.initial.get(s, 0)) for s in network.species}
+    if initial is not None:
+        if len(initial) != len(network.species):
+            raise ValueError("initial must match network.species order")
+        state = dict(zip(network.species, (float(x) for x in initial)))
+
+    if method == "rk45":
+        return _integrate_scipy(network, state, t_end, sample_every)
+    if method != "rk4":
+        raise ValueError(f"unknown method {method!r}")
+
+    if dt is None:
+        # small enough for stability even when samples are sparse
+        dt = min(sample_every, t_end / 100.0) / 20.0
+    result = ODEResult(species=network.species, times=[], values=[])
+    t = 0.0
+    next_sample = 0.0
+
+    def record():
+        result.times.append(round(t, 12))
+        result.values.append(tuple(state[s] for s in network.species))
+
+    record()
+    next_sample += sample_every
+    while t < t_end - 1e-12:
+        h = min(dt, t_end - t, next_sample - t)
+        k1 = _derivatives(network, state)
+        s2 = {s: state[s] + 0.5 * h * k1[s] for s in state}
+        k2 = _derivatives(network, s2)
+        s3 = {s: state[s] + 0.5 * h * k2[s] for s in state}
+        k3 = _derivatives(network, s3)
+        s4 = {s: state[s] + h * k3[s] for s in state}
+        k4 = _derivatives(network, s4)
+        for s in state:
+            state[s] += h / 6.0 * (k1[s] + 2 * k2[s] + 2 * k3[s] + k4[s])
+            if state[s] < 0.0:
+                state[s] = 0.0
+        t += h
+        if t >= next_sample - 1e-12:
+            record()
+            next_sample += sample_every
+    return result
+
+
+def _integrate_scipy(network: ReactionNetwork, state: dict[str, float],
+                     t_end: float, sample_every: float) -> ODEResult:
+    import numpy as np
+    from scipy.integrate import solve_ivp
+
+    species = network.species
+
+    def rhs(_t, y):
+        current = dict(zip(species, y))
+        deriv = _derivatives(network, current)
+        return [deriv[s] for s in species]
+
+    n = int(round(t_end / sample_every)) + 1
+    t_eval = np.linspace(0.0, t_end, n)
+    solution = solve_ivp(rhs, (0.0, t_end),
+                         [state[s] for s in species],
+                         t_eval=t_eval, method="RK45",
+                         rtol=1e-8, atol=1e-10)
+    return ODEResult(
+        species=species,
+        times=[float(t) for t in solution.t],
+        values=[tuple(float(v) for v in col) for col in solution.y.T])

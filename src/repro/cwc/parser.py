@@ -1,0 +1,416 @@
+"""A small textual syntax for CWC models.
+
+Example (the shape of a real model file)::
+
+    model dimerisation
+
+    param kb = 0.01
+    param ku = 0.2
+
+    term: 100*a (m | 20*a):cell
+
+    rule bind   @ kb : a a => d
+    rule unbind @ ku : d => a a
+    rule enter  @ 0.05 : a $(m |):cell => $1(| a)
+    rule leak   @ 0.01 in cell : a => a a
+
+    observable dimers = d
+    observable a_in_cell = a in cell
+
+Grammar summary
+---------------
+
+* ``term:`` a multiset of atoms (``3*a b``) and compartments
+  ``(wrap | content):label`` -- content may nest further compartments.
+* ``rule NAME @ RATE [in LABEL] : LHS => RHS`` -- LHS atoms plus
+  *compartment patterns* ``$(wrapatoms | contentatoms):label``; patterns
+  are numbered left to right from 1.  RHS atoms plus output compartments:
+
+  - ``(w | c):label``      create a new compartment;
+  - ``$i``                 keep matched compartment *i* (with residuals);
+  - ``$i(w | c)``          keep it and add atoms to wrap / content;
+  - ``$i(w | c):label``    same, relabelled;
+  - ``dissolve $i``        dissolve it into the context.
+
+  Matched compartments not mentioned in the RHS are consumed.
+* ``RATE`` is a number, a ``param`` name, or a rate-law call:
+  ``hill_rep(v, K, n, SPECIES, omega)``, ``hill_act(...)``,
+  ``mm(v, K, SPECIES, omega)``, ``linear(k, SPECIES)`` -- arguments may be
+  numbers or param names.
+* ``observable NAME = SPECIES [in LABEL]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.cwc import rates as rate_laws
+from repro.cwc.model import Model, Observable
+from repro.cwc.multiset import Multiset
+from repro.cwc.rule import (
+    CompartmentPattern,
+    CompartmentRHS,
+    Pattern,
+    RHS,
+    Rule,
+)
+from repro.cwc.term import TOP, Compartment, Term
+
+
+class ParseError(ValueError):
+    """Raised on any syntax or semantic error, with line information."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<matchref>\$\d+)
+  | (?P<star>\*)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<bar>\|)
+  | (?P<colon>:)
+  | (?P<comma>,)
+  | (?P<dollar>\$)
+  | (?P<arrow>=>)
+  | (?P<eq>=)
+  | (?P<at>@)
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str, line_no: int) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line_no)
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]], line_no: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of line", self.line_no)
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError(
+                f"expected {kind}, got {token[1]!r}", self.line_no)
+        return token[1]
+
+    def accept(self, kind: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.pos += 1
+            return token[1]
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _parse_atoms(stream: _TokenStream) -> Multiset:
+    """Parse a run of ``[n*]atom`` items; stops at any non-atom token."""
+    atoms = Multiset()
+    while True:
+        token = stream.peek()
+        if token is None:
+            break
+        kind, value = token
+        if kind == "number":
+            # could be "3*a"
+            save = stream.pos
+            stream.next()
+            if stream.accept("star"):
+                species = stream.expect("name")
+                count = int(float(value))
+                if count < 1:
+                    raise ParseError(
+                        f"multiplicity must be >= 1, got {value}",
+                        stream.line_no)
+                atoms.add(species, count)
+                continue
+            stream.pos = save
+            break
+        if kind == "name":
+            stream.next()
+            atoms.add(value)
+            continue
+        break
+    return atoms
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    """Parse atoms and (possibly nested) compartments."""
+    term = Term()
+    while not stream.exhausted:
+        token = stream.peek()
+        if token[0] in ("name", "number"):
+            before = stream.pos
+            atoms = _parse_atoms(stream)
+            if stream.pos == before:
+                break
+            term.atoms.add_all(atoms)
+        elif token[0] == "lpar":
+            stream.next()
+            wrap = _parse_atoms(stream)
+            stream.expect("bar")
+            content = _parse_term(stream)
+            stream.expect("rpar")
+            stream.expect("colon")
+            label = stream.expect("name")
+            term.add_compartment(Compartment(label, wrap, content))
+        else:
+            break
+    return term
+
+
+def _parse_lhs(stream: _TokenStream) -> Pattern:
+    atoms = Multiset()
+    patterns: list[CompartmentPattern] = []
+    while not stream.exhausted and stream.peek()[0] != "arrow":
+        token = stream.peek()
+        if token[0] in ("name", "number"):
+            before = stream.pos
+            atoms.add_all(_parse_atoms(stream))
+            if stream.pos == before:
+                raise ParseError(
+                    f"unexpected token {token[1]!r} in rule LHS",
+                    stream.line_no)
+        elif token[0] == "dollar":
+            stream.next()
+            stream.expect("lpar")
+            wrap = _parse_atoms(stream)
+            stream.expect("bar")
+            content = _parse_atoms(stream)
+            stream.expect("rpar")
+            stream.expect("colon")
+            label = stream.expect("name")
+            patterns.append(CompartmentPattern(label, wrap, content))
+        else:
+            raise ParseError(
+                f"unexpected token {token[1]!r} in rule LHS", stream.line_no)
+    return Pattern(atoms=atoms, compartments=tuple(patterns))
+
+
+def _parse_rhs(stream: _TokenStream, n_patterns: int) -> RHS:
+    atoms = Multiset()
+    comps: list[CompartmentRHS] = []
+    while not stream.exhausted:
+        token = stream.peek()
+        if token[0] in ("name", "number"):
+            if token[1] == "dissolve":
+                stream.next()
+                ref = stream.expect("matchref")
+                comps.append(CompartmentRHS(
+                    from_match=_match_index(ref, n_patterns, stream),
+                    dissolve=True))
+                continue
+            before = stream.pos
+            atoms.add_all(_parse_atoms(stream))
+            if stream.pos == before:
+                raise ParseError(
+                    f"unexpected token {token[1]!r} in rule RHS",
+                    stream.line_no)
+        elif token[0] == "matchref":
+            stream.next()
+            idx = _match_index(token[1], n_patterns, stream)
+            add_wrap, add_content = Multiset(), Multiset()
+            label = None
+            if stream.accept("lpar"):
+                add_wrap = _parse_atoms(stream)
+                stream.expect("bar")
+                add_content = _parse_atoms(stream)
+                stream.expect("rpar")
+                if stream.accept("colon"):
+                    label = stream.expect("name")
+            comps.append(CompartmentRHS(
+                from_match=idx, label=label,
+                add_wrap=add_wrap, add_content=add_content))
+        elif token[0] == "lpar":
+            stream.next()
+            wrap = _parse_atoms(stream)
+            stream.expect("bar")
+            content = _parse_atoms(stream)
+            stream.expect("rpar")
+            stream.expect("colon")
+            label = stream.expect("name")
+            comps.append(CompartmentRHS(
+                from_match=None, label=label,
+                add_wrap=wrap, add_content=content))
+        else:
+            raise ParseError(
+                f"unexpected token {token[1]!r} in rule RHS", stream.line_no)
+    return RHS(atoms=atoms, compartments=tuple(comps))
+
+
+def _match_index(ref: str, n_patterns: int, stream: _TokenStream) -> int:
+    idx = int(ref[1:]) - 1
+    if not 0 <= idx < n_patterns:
+        raise ParseError(
+            f"{ref} does not name a matched compartment "
+            f"(LHS has {n_patterns})", stream.line_no)
+    return idx
+
+
+_RATE_LAWS = {
+    "hill_rep": (rate_laws.HillRepression, ("v", "K", "n", "species", "omega")),
+    "hill_act": (rate_laws.HillActivation, ("v", "K", "n", "species", "omega")),
+    "mm": (rate_laws.MichaelisMenten, ("v", "K", "species", "omega")),
+    "linear": (rate_laws.Linear, ("k", "species")),
+    "const": (rate_laws.Constant, ("value",)),
+}
+
+
+def _parse_rate(stream: _TokenStream, params: dict[str, float]):
+    token = stream.next()
+    if token[0] == "number":
+        return float(token[1])
+    if token[0] != "name":
+        raise ParseError(f"expected a rate, got {token[1]!r}", stream.line_no)
+    name = token[1]
+    if stream.accept("lpar") is None:
+        if name not in params:
+            raise ParseError(f"unknown parameter {name!r}", stream.line_no)
+        return params[name]
+    if name not in _RATE_LAWS:
+        raise ParseError(
+            f"unknown rate law {name!r} "
+            f"(available: {sorted(_RATE_LAWS)})", stream.line_no)
+    law_cls, arg_names = _RATE_LAWS[name]
+    args = []
+    while True:
+        arg = stream.next()
+        if arg[0] == "number":
+            args.append(float(arg[1]))
+        elif arg[0] == "name":
+            # a param reference or (for the species slot) a species name
+            args.append(params.get(arg[1], arg[1]))
+        else:
+            raise ParseError(
+                f"bad rate-law argument {arg[1]!r}", stream.line_no)
+        if stream.accept("comma"):
+            continue
+        stream.expect("rpar")
+        break
+    if len(args) != len(arg_names):
+        raise ParseError(
+            f"{name} takes {len(arg_names)} arguments "
+            f"({', '.join(arg_names)}), got {len(args)}", stream.line_no)
+    return law_cls(*args)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a standalone term, e.g. ``"2*a (m | b):cell"``."""
+    stream = _TokenStream(_tokenize(text, 1), 1)
+    term = _parse_term(stream)
+    if not stream.exhausted:
+        raise ParseError(
+            f"trailing input starting at {stream.peek()[1]!r}", 1)
+    return term
+
+
+def parse_model(text: str) -> Model:
+    """Parse a complete model file; see the module docstring."""
+    name: Optional[str] = None
+    term: Optional[Term] = None
+    params: dict[str, float] = {}
+    rules: list[Rule] = []
+    observables: list[Observable] = []
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword, _, rest = line.partition(" ")
+        if keyword == "model":
+            name = rest.strip()
+            if not name:
+                raise ParseError("model needs a name", line_no)
+        elif keyword == "param":
+            match = re.fullmatch(
+                r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([-+0-9.eE]+)", rest.strip())
+            if match is None:
+                raise ParseError(f"bad param line {rest!r}", line_no)
+            params[match.group(1)] = float(match.group(2))
+        elif keyword.startswith("term"):
+            # "term: ..." -- the colon may be glued to the keyword
+            payload = line.partition(":")[2]
+            stream = _TokenStream(_tokenize(payload, line_no), line_no)
+            term = _parse_term(stream)
+            if not stream.exhausted:
+                raise ParseError(
+                    f"trailing input {stream.peek()[1]!r} after term",
+                    line_no)
+        elif keyword == "rule":
+            rules.append(_parse_rule(rest, params, line_no))
+        elif keyword == "observable":
+            observables.append(_parse_observable(rest, line_no))
+        else:
+            raise ParseError(f"unknown directive {keyword!r}", line_no)
+
+    if name is None:
+        raise ParseError("missing 'model NAME' directive")
+    if term is None:
+        raise ParseError(f"model {name!r} has no 'term:' directive")
+    if not rules:
+        raise ParseError(f"model {name!r} has no rules")
+    return Model(name, term, rules, observables)
+
+
+def _parse_rule(rest: str, params: dict[str, float], line_no: int) -> Rule:
+    head, sep, body = rest.partition(":")
+    if not sep:
+        raise ParseError("rule is missing ':' before its LHS", line_no)
+    head_stream = _TokenStream(_tokenize(head, line_no), line_no)
+    rule_name = head_stream.expect("name")
+    head_stream.expect("at")
+    rate = _parse_rate(head_stream, params)
+    context = TOP
+    trailing = head_stream.accept("name")
+    if trailing == "in":
+        context = head_stream.expect("name")
+    if (trailing is not None and trailing != "in") or not head_stream.exhausted:
+        raise ParseError(
+            f"unexpected token after rate in rule {rule_name!r}", line_no)
+    body_stream = _TokenStream(_tokenize(body, line_no), line_no)
+    lhs = _parse_lhs(body_stream)
+    body_stream.expect("arrow")
+    rhs = _parse_rhs(body_stream, len(lhs.compartments))
+    return Rule(rule_name, context, lhs, rhs, rate)
+
+
+def _parse_observable(rest: str, line_no: int) -> Observable:
+    match = re.fullmatch(
+        r"([A-Za-z_][A-Za-z0-9_']*)\s*=\s*([A-Za-z_][A-Za-z0-9_']*)"
+        r"(?:\s+in\s+([A-Za-z_][A-Za-z0-9_]*))?", rest.strip())
+    if match is None:
+        raise ParseError(f"bad observable line {rest!r}", line_no)
+    return Observable(name=match.group(1), species=match.group(2),
+                      label=match.group(3))

@@ -1,0 +1,109 @@
+"""Picklable rate-law objects for functional (non-mass-action) kinetics.
+
+Rules may carry arbitrary callables as rates; these classes cover the laws
+biological models actually use (Hill activation/repression,
+Michaelis-Menten saturation) as plain picklable objects, so models using
+them can cross process boundaries -- required by the distributed simulator
+and by process-based executors.
+
+All laws read *local molecule counts* from the rule's context and convert
+to concentrations through the system size ``omega`` (molecules per
+concentration unit), so the same published ODE parameters drive the
+stochastic model (the standard :math:`\\Omega`-expansion recipe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cwc.rule import ContextView
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant propensity, independent of the state."""
+
+    value: float
+
+    def __call__(self, context: ContextView) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Linear:
+    """``k * [species]`` expressed on counts: ``k * n`` (omega cancels for
+    first-order laws, kept for interface uniformity)."""
+
+    k: float
+    species: str
+
+    def __call__(self, context: ContextView) -> float:
+        return self.k * context.count(self.species)
+
+
+@dataclass(frozen=True)
+class HillRepression:
+    """Repressive Hill law ``v * K^n / (K^n + x^n)`` scaled to counts:
+
+    propensity = ``omega * v * K^n / (K^n + (count/omega)^n)``.
+
+    This is the *frq* transcription law of the Neurospora circadian model:
+    nuclear FRQ protein represses transcription of its own mRNA.
+    """
+
+    v: float
+    K: float
+    n: float
+    species: str
+    omega: float = 1.0
+
+    def __call__(self, context: ContextView) -> float:
+        x = context.count(self.species) / self.omega
+        kn = self.K ** self.n
+        return self.omega * self.v * kn / (kn + x ** self.n)
+
+
+@dataclass(frozen=True)
+class HillActivation:
+    """Activating Hill law ``v * x^n / (K^n + x^n)`` scaled to counts."""
+
+    v: float
+    K: float
+    n: float
+    species: str
+    omega: float = 1.0
+
+    def __call__(self, context: ContextView) -> float:
+        x = context.count(self.species) / self.omega
+        xn = x ** self.n
+        return self.omega * self.v * xn / (self.K ** self.n + xn)
+
+
+@dataclass(frozen=True)
+class MichaelisMenten:
+    """Saturating degradation ``v * x / (K + x)`` scaled to counts:
+
+    propensity = ``omega * v * (count/omega) / (K + count/omega)``.
+    """
+
+    v: float
+    K: float
+    species: str
+    omega: float = 1.0
+
+    def __call__(self, context: ContextView) -> float:
+        x = context.count(self.species) / self.omega
+        return self.omega * self.v * x / (self.K + x)
+
+
+@dataclass(frozen=True)
+class Product:
+    """The product of two rate laws (for composed kinetics)."""
+
+    left: object
+    right: object
+
+    def __call__(self, context: ContextView) -> float:
+        left = self.left(context) if callable(self.left) else self.left
+        right = self.right(context) if callable(self.right) else self.right
+        return left * right

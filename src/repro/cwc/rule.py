@@ -1,0 +1,203 @@
+"""CWC rewrite rules: patterns, right-hand sides, and rate laws.
+
+A rule ``label: P => O @ rate`` applies inside every compartment whose
+label matches (``top`` for the outermost level).  We implement the
+*simple-term* fragment used by the actual CWC simulator (Coppo et al.,
+TCS 2012): the left-hand side names atoms at the context level plus a
+(small) number of compartment patterns, each of which names atoms on the
+wrap and atoms in the content; implicit variables always capture the rest
+of the context, of each matched wrap and of each matched content, so the
+right-hand side can preserve residuals.
+
+The right-hand side adds atoms at the context level and rebuilds
+compartments: each output compartment is either *new* or derived *from a
+matched one* (keeping its residual wrap/content, optionally relabelled,
+extended, deleted or dissolved).  Any matched compartment not referenced by
+the RHS is deleted together with its residual -- the calculus' standard
+"consume what you match" semantics.
+
+Rates are either mass-action constants (propensity ``k * h`` where ``h``
+is the match multiplicity) or arbitrary functions of the local context
+(law-based rates such as Hill or Michaelis-Menten kinetics, required by
+the paper's Neurospora model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.cwc.multiset import Multiset
+from repro.cwc.term import TOP, Term
+
+
+def _as_multiset(value: "Multiset | str | dict | None") -> Multiset:
+    if value is None:
+        return Multiset()
+    if isinstance(value, Multiset):
+        return value
+    if isinstance(value, str):
+        return Multiset.from_string(value)
+    return Multiset(value)
+
+
+@dataclass(frozen=True)
+class CompartmentPattern:
+    """Match one compartment: label, atoms required on the wrap, atoms
+    required in the content.  Residual wrap/content are always captured."""
+
+    label: str
+    wrap: Multiset = field(default_factory=Multiset)
+    content: Multiset = field(default_factory=Multiset)
+
+    def __post_init__(self):
+        object.__setattr__(self, "wrap", _as_multiset(self.wrap))
+        object.__setattr__(self, "content", _as_multiset(self.content))
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """The left-hand side of a rule, relative to its context compartment."""
+
+    atoms: Multiset = field(default_factory=Multiset)
+    compartments: tuple[CompartmentPattern, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "atoms", _as_multiset(self.atoms))
+        object.__setattr__(self, "compartments", tuple(self.compartments))
+
+    def is_empty(self) -> bool:
+        return self.atoms.is_empty() and not self.compartments
+
+
+@dataclass(frozen=True)
+class CompartmentRHS:
+    """One output compartment of a rule.
+
+    ``from_match`` selects a matched compartment pattern by index (its
+    residual wrap and content are preserved); ``None`` creates a brand-new
+    compartment.  ``dissolve`` releases the residual into the context
+    instead of keeping the membrane; ``delete`` drops the compartment and
+    its residual entirely.
+    """
+
+    from_match: Optional[int] = None
+    label: Optional[str] = None
+    add_wrap: Multiset = field(default_factory=Multiset)
+    add_content: Multiset = field(default_factory=Multiset)
+    dissolve: bool = False
+    delete: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "add_wrap", _as_multiset(self.add_wrap))
+        object.__setattr__(self, "add_content", _as_multiset(self.add_content))
+        if self.from_match is None and self.label is None:
+            raise ValueError("a new compartment needs a label")
+        if self.from_match is None and (self.dissolve or self.delete):
+            raise ValueError("dissolve/delete require from_match")
+        if self.dissolve and self.delete:
+            raise ValueError("dissolve and delete are mutually exclusive")
+
+
+@dataclass(frozen=True)
+class RHS:
+    """The right-hand side: atoms added at context level + compartments."""
+
+    atoms: Multiset = field(default_factory=Multiset)
+    compartments: tuple[CompartmentRHS, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "atoms", _as_multiset(self.atoms))
+        object.__setattr__(self, "compartments", tuple(self.compartments))
+
+
+class ContextView:
+    """Read-only view of the compartment a rule is firing in, passed to
+    functional rate laws.  ``count(s)`` is the local atom count."""
+
+    __slots__ = ("_term",)
+
+    def __init__(self, term: Term):
+        self._term = term
+
+    def count(self, species: str) -> int:
+        return self._term.atoms.count(species)
+
+    def __getitem__(self, species: str) -> int:
+        return self._term.atoms.count(species)
+
+    @property
+    def label(self) -> str:
+        return self._term.label()
+
+    def n_compartments(self) -> int:
+        return len(self._term.compartments)
+
+
+RateLaw = Union[float, int, Callable[[ContextView], float]]
+
+
+class Rule:
+    """``context: lhs => rhs @ rate``; see module docstring.
+
+    ``rate`` is either a non-negative constant ``k`` (mass action:
+    propensity ``k * h`` where ``h`` is the match multiplicity) or a
+    callable ``f(context) -> propensity`` giving the *full* propensity
+    (the LHS then only defines what is consumed and gates the rule on
+    availability) -- this is how Hill/Michaelis-Menten rules are written.
+    """
+
+    __slots__ = ("name", "context", "lhs", "rhs", "rate")
+
+    def __init__(self, name: str, context: str, lhs: Pattern, rhs: RHS,
+                 rate: RateLaw):
+        self.name = name
+        self.context = context
+        self.lhs = lhs
+        self.rhs = rhs
+        if not callable(rate):
+            rate = float(rate)
+            if rate < 0:
+                raise ValueError(f"rule {name!r}: negative rate {rate}")
+        self.rate = rate
+        referenced: set[int] = set()
+        for crhs in rhs.compartments:
+            if crhs.from_match is None:
+                continue
+            if not 0 <= crhs.from_match < len(lhs.compartments):
+                raise ValueError(
+                    f"rule {name!r}: RHS references matched compartment "
+                    f"{crhs.from_match} but the LHS has "
+                    f"{len(lhs.compartments)} compartment pattern(s)")
+            if crhs.from_match in referenced:
+                raise ValueError(
+                    f"rule {name!r}: matched compartment {crhs.from_match} "
+                    "is referenced twice in the RHS")
+            referenced.add(crhs.from_match)
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def flat(cls, name: str, reactants: "Multiset | str | dict",
+             products: "Multiset | str | dict", rate: RateLaw,
+             context: str = TOP) -> "Rule":
+        """A compartment-free rule: ``reactants => products`` at context
+        level, e.g. ``Rule.flat("bind", "a b", "ab", 0.1)``."""
+        return cls(name, context,
+                   Pattern(atoms=_as_multiset(reactants)),
+                   RHS(atoms=_as_multiset(products)),
+                   rate)
+
+    def propensity_factor(self, context: ContextView) -> float:
+        """The rate part of the propensity (multiplied by ``h`` outside)."""
+        if callable(self.rate):
+            value = self.rate(context)
+            if value < 0:
+                raise ValueError(
+                    f"rule {self.name!r}: rate law returned {value} < 0")
+            return value
+        return self.rate
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name!r} @ {self.context}>"

@@ -1,0 +1,178 @@
+"""CWC terms: multisets of atoms and nested, labelled compartments.
+
+A term ``t`` is written ``a b (m | t')^l`` in the calculus: atoms ``a b``
+at this level, plus a compartment with label ``l``, wrap ``m`` (atoms on
+its membrane) and content ``t'``.  Terms are *dynamic tree structures* --
+the paper stresses this is what makes the CWC simulator "significantly
+more complex than a plain Gillespie algorithm".
+
+The tree is mutable: the Gillespie engine rewrites it in place.  Structural
+equality and hashing go through :meth:`Term.canonical`, which is invariant
+under reordering of compartments (terms are multisets, not sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cwc.multiset import Multiset
+
+#: The label of the outermost (top-level) context.
+TOP = "top"
+
+
+class Compartment:
+    """A labelled compartment: ``(wrap | content)^label``."""
+
+    __slots__ = ("label", "wrap", "content", "parent")
+
+    def __init__(self, label: str, wrap: Multiset | None = None,
+                 content: "Term | None" = None):
+        self.label = label
+        self.wrap = wrap if wrap is not None else Multiset()
+        self.content = content if content is not None else Term()
+        self.content.owner = self
+        self.parent: Optional["Term"] = None
+
+    def copy(self) -> "Compartment":
+        return Compartment(self.label, self.wrap.copy(), self.content.copy())
+
+    def canonical(self):
+        return (self.label, self.wrap.frozen(), self.content.canonical())
+
+    def size(self) -> int:
+        """Total number of atoms in this compartment, wrap included."""
+        return self.wrap.total() + self.content.size()
+
+    def __repr__(self) -> str:
+        return f"({self.wrap} | {self.content})^{self.label}"
+
+
+class Term:
+    """A multiset of atoms plus a collection of compartments."""
+
+    __slots__ = ("atoms", "compartments", "owner")
+
+    def __init__(self, atoms: Multiset | None = None,
+                 compartments: list[Compartment] | None = None):
+        self.atoms = atoms if atoms is not None else Multiset()
+        self.compartments: list[Compartment] = []
+        #: the Compartment whose content this term is (None at top level)
+        self.owner: Optional[Compartment] = None
+        if compartments:
+            for comp in compartments:
+                self.add_compartment(comp)
+
+    # ------------------------------------------------------------------
+    # structure edits
+    # ------------------------------------------------------------------
+    def add_compartment(self, comp: Compartment) -> Compartment:
+        comp.parent = self
+        self.compartments.append(comp)
+        return comp
+
+    def remove_compartment(self, comp: Compartment) -> None:
+        """Remove ``comp`` (identity comparison) from this term."""
+        for i, candidate in enumerate(self.compartments):
+            if candidate is comp:
+                del self.compartments[i]
+                comp.parent = None
+                return
+        raise ValueError(f"compartment {comp!r} not found in term")
+
+    def dissolve_compartment(self, comp: Compartment) -> None:
+        """CWC dissolution: delete the membrane, releasing both the wrap
+        atoms and the whole content (atoms and sub-compartments) into this
+        term."""
+        self.remove_compartment(comp)
+        self.atoms.add_all(comp.wrap)
+        self.atoms.add_all(comp.content.atoms)
+        for child in list(comp.content.compartments):
+            comp.content.remove_compartment(child)
+            self.add_compartment(child)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """The context label of this term (its owner's label, TOP if none)."""
+        return self.owner.label if self.owner is not None else TOP
+
+    def count(self, species: str, recursive: bool = False,
+              label: str | None = None) -> int:
+        """Count occurrences of ``species`` in this term's atoms.
+
+        With ``recursive=True`` the whole subtree is counted (wraps
+        included); ``label`` restricts the recursive count to the content
+        of compartments carrying that label (and to this term itself if its
+        own label matches).
+        """
+        if not recursive:
+            return self.atoms.count(species)
+        total = 0
+        for term in self.walk_terms():
+            if label is None or term.label() == label:
+                total += term.atoms.count(species)
+            if label is None and term.owner is not None:
+                total += term.owner.wrap.count(species)
+        return total
+
+    def walk_terms(self) -> Iterator["Term"]:
+        """Yield this term and every nested content term, depth-first."""
+        yield self
+        for comp in self.compartments:
+            yield from comp.content.walk_terms()
+
+    def walk_compartments(self) -> Iterator[Compartment]:
+        """Yield every compartment in the subtree, depth-first."""
+        for comp in self.compartments:
+            yield comp
+            yield from comp.content.walk_compartments()
+
+    def size(self) -> int:
+        """Total number of atoms in the subtree (wraps included)."""
+        return self.atoms.total() + sum(c.size() for c in self.compartments)
+
+    def depth(self) -> int:
+        """Nesting depth: 0 for a flat term."""
+        if not self.compartments:
+            return 0
+        return 1 + max(c.content.depth() for c in self.compartments)
+
+    def is_flat(self) -> bool:
+        return not self.compartments
+
+    # ------------------------------------------------------------------
+    # copies / equality
+    # ------------------------------------------------------------------
+    def copy(self) -> "Term":
+        return Term(self.atoms.copy(), [c.copy() for c in self.compartments])
+
+    def canonical(self):
+        """A hashable canonical form, invariant under compartment order."""
+        return (self.atoms.frozen(),
+                frozenset_with_multiplicity(
+                    c.canonical() for c in self.compartments))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Term):
+            return self.canonical() == other.canonical()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.atoms:
+            parts.append(str(self.atoms))
+        parts.extend(repr(c) for c in self.compartments)
+        return " ".join(parts) if parts else "•"
+
+
+def frozenset_with_multiplicity(items) -> frozenset:
+    """Build a hashable multiset snapshot out of possibly-repeated items."""
+    counts: dict = {}
+    for item in items:
+        counts[item] = counts.get(item, 0) + 1
+    return frozenset(counts.items())

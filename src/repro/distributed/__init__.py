@@ -1,0 +1,38 @@
+"""repro.distributed: the distributed CWC simulator (functional side).
+
+The paper ports the simulator to clusters and IaaS clouds by replacing
+FastFlow's shared-memory channels with "distributed zero-copy channels":
+streams are serialised, shipped, and de-serialised "without modifying the
+existing code".  This package is the functional half of that story (the
+*timing* half lives in :mod:`repro.perfsim`):
+
+* :mod:`repro.distributed.message` -- length-prefixed, checksummed frame
+  codec (every task and result really round-trips through serialisation);
+* :mod:`repro.distributed.channel` -- traffic-metered links with a
+  latency/bandwidth cost model (used to account communication volume and
+  to feed the performance simulator with real message sizes);
+* :mod:`repro.distributed.cluster` -- a virtual cluster: the Fig. 2
+  workflow re-wired as *farm of simulation pipelines* whose workers sit
+  behind serialisation boundaries with per-host task affinity;
+* :mod:`repro.distributed.procfarm` -- a process-backed simulation farm:
+  tasks cross real process boundaries (multiprocessing), giving true
+  multi-core execution in CPython.
+"""
+
+from repro.distributed.message import FrameCodec, FrameError, encode_frame, decode_frame
+from repro.distributed.channel import NetworkLink, TrafficMeter
+from repro.distributed.cluster import DistributedWorkflow, HostSpec as VirtualHost
+from repro.distributed.procfarm import ProcessSimEngineNode, run_workflow_multiprocess
+
+__all__ = [
+    "FrameCodec",
+    "FrameError",
+    "encode_frame",
+    "decode_frame",
+    "NetworkLink",
+    "TrafficMeter",
+    "DistributedWorkflow",
+    "VirtualHost",
+    "ProcessSimEngineNode",
+    "run_workflow_multiprocess",
+]

@@ -1,0 +1,97 @@
+"""A process-backed simulation farm: real multi-core in CPython.
+
+The thread-per-node runtime of :mod:`repro.ff` is faithful to FastFlow's
+architecture but GIL-bound for pure-Python stages.  For users who want the
+actual wall-clock win on a multi-core box, this module swaps the
+simulation engines for process-backed ones: each engine thread submits its
+quantum to a ``ProcessPoolExecutor`` and blocks (releasing the GIL) while
+a worker *process* runs the SSA.  Tasks really cross process boundaries
+(pickled), which is the same serialisation contract as the distributed
+version.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Union
+
+from repro.cwc.model import Model
+from repro.cwc.network import ReactionNetwork
+from repro.ff.node import GO_ON, Node
+from repro.pipeline.builder import WorkflowResult
+from repro.pipeline.config import WorkflowConfig
+from repro.pipeline.steering import SteeringController
+from repro.sim.task import QuantumResult, SimulationTask
+
+
+def _run_quantum(task: SimulationTask) -> tuple[SimulationTask, QuantumResult]:
+    """Executed in a worker process: one quantum, state returned."""
+    result = task.run_quantum()
+    return task, result
+
+
+class ProcessSimEngineNode(Node):
+    """Drop-in for :class:`~repro.sim.engine.SimEngineNode` backed by a
+    shared process pool.  The engine thread blocks on the future (GIL
+    released) while the quantum runs in another process."""
+
+    def __init__(self, pool: ProcessPoolExecutor, name: str = "psim-eng"):
+        super().__init__(name=name)
+        self.pool = pool
+        self.quanta_executed = 0
+
+    def svc(self, task: SimulationTask):
+        updated, result = self.pool.submit(_run_quantum, task).result()
+        self.quanta_executed += 1
+        if result.samples or result.done:
+            self.ff_send_out(result)
+        self.send_feedback(updated)
+        return GO_ON
+
+
+def run_workflow_multiprocess(model: Union[Model, ReactionNetwork],
+                              config: WorkflowConfig,
+                              controller: Optional[SteeringController] = None
+                              ) -> WorkflowResult:
+    """Like :func:`repro.pipeline.run_workflow`, with process-backed
+    simulation engines.  Requires a picklable model (all bundled models
+    are; avoid lambda rate laws)."""
+    from repro.ff.executor import run as ff_run
+    from repro.ff.farm import Farm
+    from repro.sim.alignment import TrajectoryAligner
+    from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
+    from repro.analysis.engines import GatherNode, StatEngineNode
+    from repro.analysis.windows import SlidingWindowNode
+    from repro.ff.pipeline import Pipeline
+
+    cut_store: Optional[list] = [] if config.keep_cuts else None
+    with ProcessPoolExecutor(max_workers=config.n_sim_workers) as pool:
+        generator = TaskGenerator(
+            model, config.n_simulations, config.t_end, config.quantum,
+            config.sample_every, seed=config.seed, engine=config.engine)
+        stop_requested = (
+            (lambda: controller.stop_requested) if controller is not None
+            else None)
+        sim_farm = Farm(
+            [ProcessSimEngineNode(pool, name=f"psim-eng-{i}")
+             for i in range(config.n_sim_workers)],
+            emitter=SimTaskEmitter(stop_requested=stop_requested),
+            collector=TrajectoryAligner(config.n_simulations),
+            feedback=True, scheduling=config.scheduling, name="psim-farm")
+        stages: list = [generator, sim_farm]
+        if cut_store is not None:
+            from repro.pipeline.builder import _CutTee
+            stages.append(_CutTee(cut_store))
+        stages.append(SlidingWindowNode(config.window_size,
+                                        config.window_slide))
+        stages.append(Farm(
+            [StatEngineNode(kmeans_k=config.kmeans_k,
+                            filter_width=config.filter_width,
+                            histogram_bins=config.histogram_bins,
+                            name=f"stat-eng-{i}")
+             for i in range(config.n_stat_workers)],
+            collector=GatherNode(), ordered=True, name="stat-farm"))
+        windows = ff_run(Pipeline(stages, name="mp-workflow"),
+                         backend="threads")
+    return WorkflowResult(config=config, windows=windows,
+                          cuts=cut_store or [])

@@ -1,0 +1,140 @@
+"""Accelerator mode: offload a stream into a running graph.
+
+FastFlow supports using a pattern composition as a software *accelerator*:
+ordinary sequential code offloads items into the running graph and
+collects results asynchronously (``run_then_freeze`` / ``offload`` /
+``load_result`` in FastFlow terms).  This is how the paper's GUI hands
+work to the pipeline while staying interactive.
+
+Usage::
+
+    with Accelerator(Farm.replicate(expensive, 4, ordered=True)) as acc:
+        for item in data:
+            acc.offload(item)
+        results = acc.collect()
+
+The structure must *not* start with a source: its input is the offloaded
+stream.  ``collect()`` blocks until the graph drains.  Items offloaded
+after ``collect()`` raise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.ff.errors import FFError, GraphError, NodeError
+from repro.ff.executor import _Runner
+from repro.ff.graph import Graph
+from repro.ff.pipeline import Pipeline
+from repro.ff.queues import EOS, GroupDone
+
+
+class Accelerator:
+    """Run a structure on background threads, feeding it by hand."""
+
+    def __init__(self, structure, capacity: int = 512):
+        if isinstance(structure, Pipeline):
+            pipeline = structure
+        else:
+            pipeline = Pipeline([structure], name="accelerator")
+        seen: set[int] = set()
+        for node in pipeline.nodes():
+            if id(node) in seen:
+                raise GraphError(
+                    f"node instance {node!r} appears more than once")
+            seen.add(id(node))
+            if hasattr(node, "generate"):
+                raise GraphError(
+                    "an accelerator's structure must not contain a "
+                    "source: its input is the offloaded stream")
+        self._graph = Graph()
+        self._graph.result_channel = self._graph.new_channel(
+            capacity, name="acc-results")
+        self._input = self._graph.new_channel(capacity, name="acc-input")
+        self._input.register_producer()
+        pipeline.expand(self._graph, self._input,
+                        self._graph.result_channel, capacity)
+        self._errors: list[NodeError] = []
+        self._errors_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Accelerator":
+        if self._started:
+            raise FFError("accelerator already started")
+        self._started = True
+
+        def body(runner: _Runner) -> None:
+            try:
+                runner.start()
+                while True:
+                    item = runner.rt.in_channel.pop()
+                    if runner.process(item):
+                        runner.finish(abandon_input=item is not EOS)
+                        break
+            except BaseException as exc:  # noqa: BLE001
+                with self._errors_lock:
+                    self._errors.append(NodeError(runner.node.name, exc))
+                try:
+                    runner.finish(abandon_input=True)
+                except BaseException:
+                    pass
+
+        for rt in self._graph.rt_nodes:
+            thread = threading.Thread(
+                target=body, args=(_Runner(rt),), daemon=True,
+                name=f"acc-{rt.node.name}")
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def offload(self, item: Any) -> None:
+        """Push one item into the running graph (blocks on backpressure)."""
+        if not self._started:
+            raise FFError("accelerator not started (use 'with' or start())")
+        if self._closed:
+            raise FFError("accelerator already drained; offload is closed")
+        self._input.push(item)
+
+    def try_load(self) -> tuple[bool, Any]:
+        """Non-blocking poll of the result stream: ``(True, item)`` or
+        ``(False, None)`` when nothing is ready yet."""
+        while True:
+            got, item = self._graph.result_channel.try_pop()
+            if not got:
+                return False, None
+            if item is EOS:
+                return False, None
+            if isinstance(item, GroupDone):
+                continue
+            return True, item
+
+    def collect(self) -> list[Any]:
+        """Close the input stream, wait for the graph to drain, and
+        return every (remaining) result.  Raises the first node error."""
+        if not self._closed:
+            self._closed = True
+            self._input.producer_done()
+        results = list(self._graph.result_channel.drain())
+        for thread in self._threads:
+            thread.join()
+        if self._errors:
+            raise self._errors[0]
+        return results
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Accelerator":
+        return self.start()
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None:
+            self.collect()
+        else:
+            # error path: release the graph so threads can exit
+            if not self._closed:
+                self._closed = True
+                self._input.producer_done()
+            self._graph.result_channel.abandon()

@@ -1,0 +1,51 @@
+"""Textual description of a pattern composition (debugging / docs aid).
+
+``describe(structure)`` renders the topology tree the way the paper draws
+Fig. 2: stages in order, farms with their emitter/worker/collector boxes,
+feedback edges marked.  Purely structural -- nothing is executed.
+"""
+
+from __future__ import annotations
+
+from repro.ff.farm import Farm
+from repro.ff.node import Node
+from repro.ff.pipeline import Pipeline
+
+
+def describe(structure, indent: int = 0) -> str:
+    """A multi-line, indented topology rendering."""
+    return "\n".join(_lines(structure, indent))
+
+
+def _lines(structure, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(structure, Pipeline):
+        out = [f"{pad}pipeline {structure.name!r}:"]
+        for stage in structure.stages:
+            out.extend(_lines(stage, indent + 1))
+        return out
+    if isinstance(structure, Farm):
+        flags = []
+        if structure.ordered:
+            flags.append("ordered")
+        if structure.feedback:
+            flags.append("feedback")
+        flags.append(structure.scheduling)
+        out = [f"{pad}farm {structure.name!r} "
+               f"[width={structure.width}, {', '.join(flags)}]:"]
+        if structure.emitter is not None:
+            out.append(f"{pad}  emitter: {structure.emitter.name}")
+        for i, worker in enumerate(structure.workers):
+            if isinstance(worker, Pipeline):
+                out.append(f"{pad}  worker[{i}]:")
+                out.extend(_lines(worker, indent + 2))
+            else:
+                out.append(f"{pad}  worker[{i}]: {worker.name}")
+        if structure.collector is not None:
+            out.append(f"{pad}  collector: {structure.collector.name}")
+        if structure.feedback:
+            out.append(f"{pad}  feedback: workers -> emitter")
+        return out
+    if isinstance(structure, Node):
+        return [f"{pad}node: {structure.name}"]
+    return [f"{pad}{structure!r}"]

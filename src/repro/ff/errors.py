@@ -1,0 +1,23 @@
+"""Exception hierarchy for the streaming runtime."""
+
+
+class FFError(Exception):
+    """Base class for all errors raised by the ff runtime."""
+
+
+class GraphError(FFError):
+    """The pattern composition is malformed (e.g. empty pipeline, a farm
+    with zero workers, an ordered farm combined with feedback)."""
+
+
+class QueueClosedError(FFError):
+    """An operation was attempted on a closed channel."""
+
+
+class NodeError(FFError):
+    """A node's ``svc`` raised; the original exception is chained."""
+
+    def __init__(self, node_name: str, original: BaseException):
+        super().__init__(f"node {node_name!r} failed: {original!r}")
+        self.node_name = node_name
+        self.original = original

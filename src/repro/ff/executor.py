@@ -1,0 +1,322 @@
+"""Executors: run a compiled streaming graph.
+
+Two backends are provided:
+
+* :class:`ThreadedExecutor` -- one thread per runtime node, blocking on
+  bounded channels.  This mirrors FastFlow's thread-per-node runtime: all
+  stages really execute concurrently, backpressure propagates through the
+  bounded queues, and pipeline/farm parallelism overlaps (subject to the
+  GIL for pure-Python stages -- see DESIGN.md for how performance numbers
+  are obtained on the modeled platforms instead).
+* :class:`SequentialExecutor` -- a deterministic single-threaded
+  round-robin interpreter of the same graph.  Used by tests and
+  property-based checks, and as the reference semantics: for any graph,
+  both executors must produce the same multiset of results (and the same
+  sequence for ordered compositions).
+
+``run(structure)`` is the convenience entry point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Optional
+
+from repro.ff.errors import GraphError, NodeError
+from repro.ff.graph import Graph, RtNode, Structure
+from repro.ff.farm import Feedback
+from repro.ff.node import EOS, GO_ON, Emit
+from repro.ff.queues import GroupDone
+
+_SKIP = object()  # placeholder for "no output" slots in ordered farms
+
+
+class _FeedbackSender:
+    """Bound to ``node._feedback``: wraps items so the emitter can tell
+    feedback from upstream input."""
+
+    def __init__(self, outbox):
+        self._outbox = outbox
+
+    def send(self, item: Any) -> None:
+        self._outbox.send(Feedback(item))
+
+
+class _CollectingOutbox:
+    """Captures ``ff_send_out`` output of a tagged (ordered-farm) worker so
+    it can be re-wrapped with the input's sequence tag."""
+
+    def __init__(self):
+        self.items: list[Any] = []
+
+    def send(self, item: Any) -> None:
+        self.items.append(item)
+
+
+class _Tagged:
+    """Output envelope of an ordered-farm worker: all outputs for seq."""
+
+    __slots__ = ("seq", "items")
+
+    def __init__(self, seq: int, items: list[Any]):
+        self.seq = seq
+        self.items = items
+
+
+def compile_graph(structure: Structure, capacity: int,
+                  collect: bool) -> Graph:
+    """Expand a pattern composition into a runnable :class:`Graph`."""
+    nodes = structure.nodes()
+    seen: set[int] = set()
+    for node in nodes:
+        if id(node) in seen:
+            raise GraphError(
+                f"node instance {node!r} appears more than once in the "
+                "graph; every position needs its own instance")
+        seen.add(id(node))
+    graph = Graph()
+    if collect:
+        graph.result_channel = graph.new_channel(capacity, name="results")
+    structure.expand(graph, None, graph.result_channel, capacity)
+    for rt in graph.rt_nodes:
+        if rt.in_channel is None and not hasattr(rt.node, "generate"):
+            raise GraphError(
+                f"head node {rt.node!r} has no input and no generate(); "
+                "the first stage of a graph must be a source")
+    return graph
+
+
+class _Runner:
+    """Per-node execution state shared by both executors."""
+
+    def __init__(self, rt: RtNode):
+        self.rt = rt
+        self.node = rt.node
+        self.finished = False
+        self.started = False
+        self.error: Optional[BaseException] = None
+        self._gen = None
+        # reorder buffer (consumers of ordered farms)
+        self._heap: list[tuple[int, list[Any]]] = []
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        node = self.node
+        node._outbox = self.rt.outbox
+        if self.rt.feedback is not None:
+            node._feedback = _FeedbackSender(self.rt.feedback)
+        node.svc_init()
+        if self.rt.in_channel is None:
+            self._gen = iter(node.generate())
+        self.started = True
+
+    def finish(self, *, abandon_input: bool = False) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        if abandon_input and self.rt.in_channel is not None:
+            self.rt.in_channel.abandon()
+        try:
+            self.node.svc_end()
+        finally:
+            self.rt.outbox.close()
+            if self.rt.feedback is not None:
+                self.rt.feedback.close()
+            self.node._outbox = None
+            self.node._feedback = None
+
+    # ------------------------------------------------------------------
+    # output routing
+    # ------------------------------------------------------------------
+    def _route_plain(self, result: Any) -> bool:
+        """Route a svc/eos_notify result.  Returns True if the node asked
+        to terminate the stream (returned EOS)."""
+        if result is GO_ON:
+            return False
+        if result is EOS:
+            return True
+        if isinstance(result, Emit):
+            for item in result.items:
+                self.rt.outbox.send(item)
+            return False
+        self.rt.outbox.send(result)
+        return False
+
+    def _svc_tagged(self, seq: int, payload: Any) -> bool:
+        """Run svc for an ordered-farm worker, preserving the tag."""
+        node = self.node
+        collector = _CollectingOutbox()
+        real_outbox = node._outbox
+        node._outbox = collector
+        try:
+            result = node.svc(payload)
+        finally:
+            node._outbox = real_outbox
+        items = list(collector.items)
+        if result is EOS:
+            self.rt.outbox.send(_Tagged(seq, items))
+            return True
+        if isinstance(result, Emit):
+            items.extend(result.items)
+        elif result is not GO_ON:
+            items.append(result)
+        self.rt.outbox.send(_Tagged(seq, items))
+        return False
+
+    def _deliver_reordered(self, tagged: _Tagged) -> bool:
+        """Buffer a tagged envelope; deliver contiguous ones in order."""
+        heapq.heappush(self._heap, (tagged.seq, tagged.items))
+        while self._heap and self._heap[0][0] == self._next_seq:
+            _, items = heapq.heappop(self._heap)
+            self._next_seq += 1
+            for item in items:
+                if self._route_plain(self.node.svc(item)):
+                    return True
+        return False
+
+    def process(self, item: Any) -> bool:
+        """Process one popped item.  Returns True when the node is done."""
+        if item is EOS:
+            return True
+        if isinstance(item, GroupDone):
+            return self._route_plain(self.node.eos_notify(item.group))
+        if self.rt.tagged:
+            seq, payload = item
+            return self._svc_tagged(seq, payload)
+        if self.rt.reorder:
+            if isinstance(item, _Tagged):
+                return self._deliver_reordered(item)
+            # untagged item reaching a reorder consumer is a wiring bug
+            raise GraphError(
+                f"untagged item {item!r} reached ordered consumer "
+                f"{self.node.name!r}")
+        return self._route_plain(self.node.svc(item))
+
+    def source_step(self) -> bool:
+        """Produce one item from a source.  Returns True when exhausted."""
+        try:
+            item = next(self._gen)
+        except StopIteration:
+            return True
+        self.rt.outbox.send(item)
+        return False
+
+
+class ThreadedExecutor:
+    """One OS thread per runtime node (FastFlow's accelerator-less mode)."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+
+    def run(self, structure: Structure, collect: bool = True) -> list[Any]:
+        graph = compile_graph(structure, self.capacity, collect)
+        errors: list[NodeError] = []
+        errors_lock = threading.Lock()
+
+        def body(runner: _Runner) -> None:
+            try:
+                runner.start()
+                if runner.rt.in_channel is None:
+                    while not runner.source_step():
+                        pass
+                    runner.finish()
+                else:
+                    while True:
+                        item = runner.rt.in_channel.pop()
+                        if runner.process(item):
+                            early = item is not EOS
+                            runner.finish(abandon_input=early)
+                            break
+            except BaseException as exc:  # noqa: BLE001 - must not kill run
+                with errors_lock:
+                    errors.append(NodeError(runner.node.name, exc))
+                try:
+                    runner.finish(abandon_input=True)
+                except BaseException:
+                    pass
+
+        runners = [_Runner(rt) for rt in graph.rt_nodes]
+        threads = [
+            threading.Thread(target=body, args=(r,), daemon=True,
+                             name=f"ff-{r.node.name}")
+            for r in runners
+        ]
+        for t in threads:
+            t.start()
+        results: list[Any] = []
+        if graph.result_channel is not None:
+            results = list(graph.result_channel.drain())
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return results
+
+
+class SequentialExecutor:
+    """Deterministic single-threaded interpreter of the same graphs.
+
+    Channels are made effectively unbounded (backpressure is meaningless
+    with one thread of control); nodes are stepped round-robin, each step
+    consuming at most one item, so interleavings are reproducible.
+    """
+
+    _UNBOUNDED = 2 ** 60
+
+    def run(self, structure: Structure, collect: bool = True) -> list[Any]:
+        graph = compile_graph(structure, self._UNBOUNDED, collect)
+        runners = [_Runner(rt) for rt in graph.rt_nodes]
+        for r in runners:
+            r.start()
+        pending = set(range(len(runners)))
+        results: list[Any] = []
+        while pending:
+            progress = False
+            for i in sorted(pending):
+                runner = runners[i]
+                if runner.rt.in_channel is None:
+                    done = runner.source_step()
+                    progress = True
+                    if done:
+                        runner.finish()
+                        pending.discard(i)
+                    continue
+                got, item = runner.rt.in_channel.try_pop()
+                if not got:
+                    continue
+                progress = True
+                if runner.process(item):
+                    runner.finish(abandon_input=item is not EOS)
+                    pending.discard(i)
+            if graph.result_channel is not None:
+                while True:
+                    got, item = graph.result_channel.try_pop()
+                    if not got or item is EOS:
+                        break
+                    if not isinstance(item, GroupDone):
+                        results.append(item)
+            if not progress and pending:
+                raise GraphError(
+                    "graph stalled: nodes "
+                    f"{[runners[i].node.name for i in sorted(pending)]} "
+                    "have no input and the stream is not finished")
+        if graph.result_channel is not None:
+            for item in graph.result_channel.drain():
+                results.append(item)
+        return results
+
+
+def run(structure: Structure, backend: str = "threads",
+        capacity: int = 512, collect: bool = True) -> list[Any]:
+    """Run a pattern composition and return the collected output stream.
+
+    ``backend`` is ``"threads"`` (concurrent, FastFlow-like) or
+    ``"sequential"`` (deterministic reference interpreter).
+    """
+    if backend == "threads":
+        return ThreadedExecutor(capacity=capacity).run(structure, collect)
+    if backend == "sequential":
+        return SequentialExecutor().run(structure, collect)
+    raise GraphError(f"unknown backend {backend!r}")

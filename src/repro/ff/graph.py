@@ -1,0 +1,203 @@
+"""Internal runtime graph IR shared by the executors.
+
+Pattern objects (:class:`~repro.ff.pipeline.Pipeline`,
+:class:`~repro.ff.farm.Farm`) *describe* a streaming computation; before
+running they are expanded into a flat list of :class:`RtNode` records wired
+by :class:`~repro.ff.queues.Channel` objects.  The executors then only deal
+with this IR, never with the pattern classes themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ff.errors import GraphError
+from repro.ff.node import Node
+from repro.ff.queues import Channel
+
+
+class Outbox:
+    """Where a node's output goes.  Concrete policies below."""
+
+    def send(self, item: Any) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class NullOutbox(Outbox):
+    """Output of the last stage when the caller does not collect results."""
+
+    def send(self, item: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ChannelOutbox(Outbox):
+    """Unicast into one channel, as one registered producer of ``group``."""
+
+    def __init__(self, channel: Channel, group: str = "default",
+                 force: bool = False):
+        self.channel = channel
+        self.group = group
+        self.force = force
+        channel.register_producer(group)
+
+    def send(self, item: Any) -> None:
+        if self.force:
+            # Bypass capacity: used by feedback edges to break the
+            # emitter<->worker backpressure cycle (FastFlow uses unbounded
+            # feedback queues for the same reason).
+            with self.channel._not_full:
+                if not self.channel._abandoned:
+                    self.channel._queue.append(item)
+                    self.channel._pushed += 1
+                    self.channel._not_empty.notify()
+        else:
+            self.channel.push(item)
+
+    def close(self) -> None:
+        self.channel.producer_done(self.group)
+
+
+class ToWorker:
+    """Wrapper an emitter can return/emit to direct an item to one worker."""
+
+    __slots__ = ("worker", "item")
+
+    def __init__(self, worker: int, item: Any):
+        self.worker = worker
+        self.item = item
+
+
+class DispatchOutbox(Outbox):
+    """An emitter's outbox: one channel per worker plus a dispatch policy.
+
+    ``policy`` is ``"roundrobin"`` or ``"ondemand"``.  On-demand picks the
+    worker with the shortest input queue (ties broken round-robin), which --
+    combined with small channel capacities -- approximates FastFlow's
+    demand-driven scheduling and is what load-balances the heavily
+    unbalanced Gillespie trajectories of the paper.
+    """
+
+    def __init__(self, channels: list[Channel], policy: str = "roundrobin"):
+        if policy not in ("roundrobin", "ondemand"):
+            raise GraphError(f"unknown dispatch policy {policy!r}")
+        self.channels = channels
+        self.policy = policy
+        self._next = 0
+        for ch in channels:
+            ch.register_producer("default")
+
+    def _pick(self) -> int:
+        n = len(self.channels)
+        if self.policy == "roundrobin":
+            idx = self._next
+            self._next = (self._next + 1) % n
+            return idx
+        # on-demand: shortest queue, round-robin tie-break
+        best, best_len = self._next, None
+        for off in range(n):
+            i = (self._next + off) % n
+            qlen = len(self.channels[i])
+            if best_len is None or qlen < best_len:
+                best, best_len = i, qlen
+                if qlen == 0:
+                    break
+        self._next = (best + 1) % n
+        return best
+
+    def send(self, item: Any) -> None:
+        if isinstance(item, ToWorker):
+            self.channels[item.worker % len(self.channels)].push(item.item)
+        else:
+            self.channels[self._pick()].push(item)
+
+    def close(self) -> None:
+        for ch in self.channels:
+            ch.producer_done("default")
+
+
+class TaggingOutbox(Outbox):
+    """Wrap an outbox so every sent item gets a monotonically increasing
+    sequence tag ``(seq, item)``.  Used on the emitter side of an ordered
+    farm; the collector side reorders on the same tags."""
+
+    def __init__(self, inner: Outbox):
+        self.inner = inner
+        self._seq = 0
+
+    def send(self, item: Any) -> None:
+        if isinstance(item, ToWorker):
+            payload = ToWorker(item.worker, (self._seq, item.item))
+        else:
+            payload = (self._seq, item)
+        self._seq += 1
+        self.inner.send(payload)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+@dataclass
+class RtNode:
+    """One runnable node instance in the compiled graph."""
+
+    node: Node
+    in_channel: Optional[Channel]  # None for sources
+    outbox: Outbox
+    #: feedback outbox bound to the node (farm workers only)
+    feedback: Optional[Outbox] = None
+    #: worker of an ordered farm: unwrap (seq, item), re-wrap output
+    tagged: bool = False
+    #: consumer of an ordered farm: reorder (seq, item) before svc
+    reorder: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.node.name
+
+
+@dataclass
+class Graph:
+    """A compiled streaming graph, ready for an executor."""
+
+    rt_nodes: list[RtNode] = field(default_factory=list)
+    channels: list[Channel] = field(default_factory=list)
+    #: channel carrying the output of the whole graph (None if not collected)
+    result_channel: Optional[Channel] = None
+
+    def add(self, rt: RtNode) -> RtNode:
+        self.rt_nodes.append(rt)
+        return rt
+
+    def new_channel(self, capacity: int, name: str = "") -> Channel:
+        ch = Channel(capacity=capacity, name=name)
+        self.channels.append(ch)
+        return ch
+
+
+class Structure:
+    """Base class for composable pattern descriptions.
+
+    ``expand`` wires the structure between ``in_channel`` (``None`` for the
+    head of a graph) and ``out_channel`` (``None`` when the output is
+    discarded), adding :class:`RtNode` records to ``graph``.  A structure
+    whose output fans in from several internal nodes simply creates one
+    :class:`ChannelOutbox` per producer: the channel's producer bookkeeping
+    keeps end-of-stream detection correct.
+    """
+
+    def expand(self, graph: Graph, in_channel: Optional[Channel],
+               out_channel: Optional[Channel], capacity: int) -> None:
+        raise NotImplementedError
+
+    def nodes(self) -> list[Node]:
+        """All user-level nodes contained in this structure (for
+        validation: a node instance may appear at most once per graph)."""
+        raise NotImplementedError

@@ -1,0 +1,183 @@
+"""The ``ff_node`` equivalent: the unit of computation in a streaming graph.
+
+A node consumes one input stream and produces one output stream.  Its life
+cycle mirrors FastFlow's: ``svc_init`` once before the stream starts,
+``svc`` once per input item, ``svc_end`` once after the stream ends.  The
+return value of ``svc`` drives the output stream:
+
+* a plain value  -> emitted downstream;
+* :data:`GO_ON`  -> nothing emitted for this input (FastFlow ``FF_GO_ON``);
+* :data:`EOS`    -> the node terminates the stream right now (used by
+  master-worker emitters that know all in-flight work has completed);
+* an :class:`Emit` -> several values emitted for one input.
+
+Inside ``svc`` a node may also call :meth:`Node.ff_send_out` to emit
+immediately (several times per input if needed), exactly like FastFlow's
+``ff_send_out``.  Nodes used as farm workers may additionally call
+:meth:`Node.send_feedback` to reschedule work back to the emitter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.ff.queues import EOS
+
+
+class _GoOn:
+    """Sentinel: process the next input without emitting anything."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "GO_ON"
+
+
+#: FastFlow's ``FF_GO_ON``: svc produced no output for this input.
+GO_ON = _GoOn()
+
+
+class Emit:
+    """Wrap several output items produced by a single ``svc`` call."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Any]):
+        self.items = list(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Emit({self.items!r})"
+
+
+class Node:
+    """Base class for stream-processing nodes.
+
+    Subclasses override :meth:`svc` (and optionally :meth:`svc_init`,
+    :meth:`svc_end`, :meth:`eos_notify`).  A node instance must be used in
+    at most one running graph at a time: the executor binds the outbox onto
+    the instance for the duration of the run.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        # Bound by the executor while the graph runs:
+        self._outbox = None
+        self._feedback = None
+
+    # ------------------------------------------------------------------
+    # life cycle hooks
+    # ------------------------------------------------------------------
+    def svc_init(self) -> None:
+        """Called once, before the first input item."""
+
+    def svc(self, item: Any) -> Any:
+        """Process one input item; see the module docstring for the
+        meaning of the return value."""
+        raise NotImplementedError
+
+    def svc_end(self) -> None:
+        """Called once, after the input stream ended (or the node emitted
+        EOS itself)."""
+
+    def eos_notify(self, group: str) -> Any:
+        """Called when a whole producer *group* of the input channel
+        completed while other groups are still active (master-worker
+        emitters see ``group == "upstream"`` here).
+
+        May return output like :meth:`svc` (e.g. an emitter that flushes
+        buffered tasks, or returns :data:`EOS` when no work is in flight).
+        The default emits nothing.
+        """
+        return GO_ON
+
+    # ------------------------------------------------------------------
+    # output helpers (valid only while the graph runs)
+    # ------------------------------------------------------------------
+    def ff_send_out(self, item: Any) -> None:
+        """Emit ``item`` downstream immediately (FastFlow ``ff_send_out``)."""
+        if self._outbox is None:
+            raise RuntimeError(
+                f"node {self.name!r} is not running inside a graph"
+            )
+        self._outbox.send(item)
+
+    def send_feedback(self, item: Any) -> None:
+        """Send ``item`` back along the feedback edge (farm workers only)."""
+        if self._feedback is None:
+            raise RuntimeError(
+                f"node {self.name!r} has no feedback channel"
+            )
+        self._feedback.send(item)
+
+    @property
+    def has_feedback(self) -> bool:
+        return self._feedback is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SourceNode(Node):
+    """A stream source: produces items from :meth:`generate`.
+
+    Either pass an iterable to the constructor or override
+    :meth:`generate`.  The executor iterates it and pushes every item
+    downstream; the stream ends when the iterator is exhausted.
+    """
+
+    def __init__(self, items: Iterable[Any] | None = None, name: str = ""):
+        super().__init__(name=name)
+        self._items = items
+
+    def generate(self) -> Iterator[Any]:
+        if self._items is None:
+            raise NotImplementedError(
+                "pass an iterable to SourceNode or override generate()"
+            )
+        return iter(self._items)
+
+    def svc(self, item: Any) -> Any:  # pragma: no cover - sources have no input
+        raise RuntimeError("SourceNode.svc must never be called")
+
+
+class SinkNode(Node):
+    """A stream sink: collects every received item into :attr:`results`."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name)
+        self.results: list[Any] = []
+
+    def svc(self, item: Any) -> Any:
+        self.results.append(item)
+        return GO_ON
+
+
+class FunctionNode(Node):
+    """Adapt a plain callable ``f(item) -> out`` into a node.
+
+    ``f`` may return :data:`GO_ON`, :class:`Emit` or a value, like
+    :meth:`Node.svc`.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], name: str = ""):
+        super().__init__(name=name or getattr(fn, "__name__", "fn"))
+        self.fn = fn
+
+    def svc(self, item: Any) -> Any:
+        return self.fn(item)
+
+
+def as_node(obj: Any) -> Node:
+    """Coerce ``obj`` into a :class:`Node`.
+
+    Accepts nodes (returned as-is), callables (wrapped in
+    :class:`FunctionNode`) and sequences/iterators (wrapped in
+    :class:`SourceNode`).
+    """
+    if isinstance(obj, Node):
+        return obj
+    if callable(obj):
+        return FunctionNode(obj)
+    if isinstance(obj, (Sequence, Iterator)):
+        return SourceNode(obj)
+    raise TypeError(f"cannot use {obj!r} as a stream node")

@@ -1,0 +1,89 @@
+"""The pipeline core pattern: a linear chain of stages over SPSC channels.
+
+A :class:`Pipeline` composes stages left to right; each stage is a
+:class:`~repro.ff.node.Node`, another :class:`Pipeline`, a
+:class:`~repro.ff.farm.Farm`, a plain callable (wrapped in a
+:class:`~repro.ff.node.FunctionNode`) or an iterable (wrapped in a
+:class:`~repro.ff.node.SourceNode` -- only valid as the first stage).
+
+This mirrors FastFlow's ``ff_pipeline``; the CWC simulator's main workflow
+(Fig. 2 of the paper) is a pipeline of two farms plus alignment/windowing
+stages built exactly this way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.ff.errors import GraphError
+from repro.ff.graph import (
+    ChannelOutbox,
+    Graph,
+    NullOutbox,
+    RtNode,
+    Structure,
+)
+from repro.ff.node import Node, as_node
+from repro.ff.queues import Channel
+
+
+class Pipeline(Structure):
+    """A linear composition of stages.
+
+    >>> from repro.ff import Pipeline, run
+    >>> run(Pipeline([range(5), lambda x: x * 2]))
+    [0, 2, 4, 6, 8]
+    """
+
+    def __init__(self, stages: Iterable[Any], name: str = "pipeline"):
+        self.name = name
+        self.stages: list[Structure | Node] = []
+        for stage in stages:
+            self.append(stage)
+        if not self.stages:
+            raise GraphError("a pipeline needs at least one stage")
+
+    def append(self, stage: Any) -> "Pipeline":
+        """Add one stage at the end (returns ``self`` for chaining)."""
+        if isinstance(stage, Structure):
+            self.stages.append(stage)
+        else:
+            self.stages.append(as_node(stage))
+        return self
+
+    def __rshift__(self, stage: Any) -> "Pipeline":
+        """``pipe >> stage`` sugar for :meth:`append`."""
+        return self.append(stage)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[Node]:
+        out: list[Node] = []
+        for stage in self.stages:
+            if isinstance(stage, Structure):
+                out.extend(stage.nodes())
+            else:
+                out.append(stage)
+        return out
+
+    def expand(self, graph: Graph, in_channel: Optional[Channel],
+               out_channel: Optional[Channel], capacity: int) -> None:
+        n = len(self.stages)
+        upstream = in_channel
+        for i, stage in enumerate(self.stages):
+            last = i == n - 1
+            downstream = out_channel if last else graph.new_channel(
+                capacity, name=f"{self.name}[{i}->{i + 1}]")
+            if isinstance(stage, Structure):
+                stage.expand(graph, upstream, downstream, capacity)
+            else:
+                outbox = (ChannelOutbox(downstream)
+                          if downstream is not None else NullOutbox())
+                graph.add(RtNode(node=stage, in_channel=upstream,
+                                 outbox=outbox))
+            upstream = downstream
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pipeline({self.stages!r})"

@@ -1,0 +1,38 @@
+"""repro.gpu: a SIMT (CUDA-like) execution model and offloading patterns.
+
+The paper offloads blocks of CWC simulations to an NVidia K40 through
+FastFlow's ``ff_mapCUDA`` node, and analyses why: in the SIMT model all
+threads of a warp advance in lockstep, so the very uneven per-quantum cost
+of Gillespie trajectories turns into *thread divergence* -- a warp takes
+as long as its slowest thread.  The CWC design mitigates this by keeping
+quanta short and re-balancing (re-grouping) simulations after every
+quantum (Table I's Q/tau sensitivity).
+
+* :mod:`repro.gpu.device` -- device specifications (the K40 preset);
+* :mod:`repro.gpu.simt` -- the SIMT executor: functionally runs a kernel
+  per item while modeling warp-lockstep timing, occupancy-limited warp
+  slots and kernel-launch overhead;
+* :mod:`repro.gpu.map_cuda` -- the ``ff_mapCUDA`` equivalent: a stream
+  node offloading blocks of simulation tasks to a device;
+* :mod:`repro.gpu.stencil_reduce` -- FastFlow's GPU core pattern
+  ``stencilReduce``.
+"""
+
+from repro.gpu.device import GPUSpec, tesla_k40
+from repro.gpu.simt import SimtDevice, KernelStats, simulate_gpu_run, GpuRunStats
+from repro.gpu.map_cuda import MapCUDANode
+from repro.gpu.stencil_reduce import stencil_reduce
+from repro.gpu.workflow import GpuWorkflowResult, run_gpu_workflow
+
+__all__ = [
+    "GPUSpec",
+    "tesla_k40",
+    "SimtDevice",
+    "KernelStats",
+    "simulate_gpu_run",
+    "GpuRunStats",
+    "MapCUDANode",
+    "stencil_reduce",
+    "GpuWorkflowResult",
+    "run_gpu_workflow",
+]

@@ -1,0 +1,47 @@
+"""GPU device specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Timing-relevant properties of a SIMT device.
+
+    ``resident_warps`` is the *occupancy-limited* number of warps that
+    execute concurrently.  The K40 has 2880 CUDA cores (15 SMX x 192),
+    but a CWC simulation kernel carries a large per-thread state (the
+    term tree, the rule table, an RNG) and heavy register/local-memory
+    pressure, so occupancy collapses to about one resident warp per SMX
+    -- the effective parallelism a divergent, stateful kernel actually
+    gets (this is the paper's "the GPGPU succeed[s] to exploit only a
+    fraction of its peak power").
+    """
+
+    name: str
+    n_sm: int = 15
+    cores_per_sm: int = 192
+    warp_size: int = 32
+    #: concurrently executing warps (occupancy-limited; see docstring)
+    resident_warps: int = 15
+    #: per-thread slowdown of a GPU scalar core vs. the reference CPU
+    #: core for this (branchy, pointer-chasing) kernel
+    thread_slowdown: float = 5.0
+    #: host-side overhead per kernel launch (seconds)
+    kernel_launch_overhead: float = 30e-6
+    #: unified-memory page-migration cost per byte moved per quantum
+    unified_memory_cost_per_byte: float = 0.05e-9
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_sm * self.cores_per_sm
+
+    def __post_init__(self):
+        if self.resident_warps < 1 or self.warp_size < 1:
+            raise ValueError("resident_warps and warp_size must be >= 1")
+
+
+def tesla_k40() -> GPUSpec:
+    """The paper's NVidia Tesla K40 (2880 SMX cores)."""
+    return GPUSpec(name="tesla-k40")

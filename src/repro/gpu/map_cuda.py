@@ -1,0 +1,75 @@
+"""The ``ff_mapCUDA`` equivalent: stream-offloading to a SIMT device.
+
+A :class:`MapCUDANode` sits in a streaming graph like any other node; each
+service call receives a *block* of simulation tasks, advances every task
+by one simulation quantum on the device (functionally real execution,
+modeled timing -- see :mod:`repro.gpu.simt`) and emits the quantum
+results downstream.  Incomplete blocks are fed back for the next quantum
+with optional re-balancing, mirroring the CWC design that "manages blocks
+of simulations as a FastFlow stream, splitting them in successive quanta
+and implementing a load re-balancing strategy after the computation of
+each quantum".
+
+FastFlow's Unified-Memory story maps to: tasks are ordinary Python
+objects, no manual serialisation is needed to cross the host/device
+boundary, and the model charges a per-byte unified-memory migration cost
+per quantum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ff.node import GO_ON, Node
+from repro.gpu.simt import SimtDevice
+from repro.sim.task import QuantumResult, SimulationTask
+
+
+class MapCUDANode(Node):
+    """Farm-worker-like node offloading blocks of tasks to one device.
+
+    Input: a list of :class:`~repro.sim.task.SimulationTask` (a block).
+    Output: every :class:`~repro.sim.task.QuantumResult` of the block's
+    quantum, followed by feedback of the (still incomplete) block.
+    """
+
+    def __init__(self, device: SimtDevice, rebalance: bool = True,
+                 name: str = "mapCUDA"):
+        super().__init__(name=name)
+        self.device = device
+        self.rebalance = rebalance
+        self.blocks_processed = 0
+        self._last_cost: dict[int, float] = {}
+
+    def svc(self, block: Sequence[SimulationTask]):
+        tasks = [t for t in block if not t.done]
+        if not tasks:
+            return GO_ON
+        if self.rebalance and self._last_cost:
+            tasks.sort(key=lambda t: self._last_cost.get(t.task_id, 0.0))
+
+        steps_before = {t.task_id: t.steps for t in tasks}
+
+        def kernel(task: SimulationTask) -> QuantumResult:
+            return task.run_quantum()
+
+        def work_of(task: SimulationTask, _result: QuantumResult) -> float:
+            return task.steps - steps_before[task.task_id]
+
+        results, _stats = self.device.launch_map(
+            kernel, tasks, work_of,
+            bytes_moved=sum(2048.0 for _ in tasks))
+        for task, result in zip(tasks, results):
+            self._last_cost[task.task_id] = work_of(task, result)
+            if result.samples or result.done:
+                self.ff_send_out(result)
+        remaining = [t for t in tasks if not t.done]
+        self.blocks_processed += 1
+        if self.has_feedback:
+            # always feed the block back: the emitter retires it once
+            # every task is done (and re-dispatches it otherwise)
+            self.send_feedback(remaining if remaining else tasks)
+        elif remaining:
+            # no feedback edge: loop the block locally to completion
+            return self.svc(remaining)
+        return GO_ON

@@ -1,0 +1,92 @@
+"""A growing, dividing cell population: the CWC-native stress model.
+
+The paper stresses that CWC terms are *dynamic data structures*:
+"compartments can be dynamically created or destroyed".  The bundled
+Neurospora model keeps a fixed tree, so this model exercises the dynamic
+half of the calculus: a population of ``cell`` compartments that grow
+(accumulate biomass ``x``), divide (a loaded cell spawns a daughter) and
+die (a compartment is consumed with its content) -- a birth-death process
+*on compartments* whose per-step matching cost grows with the population.
+
+This is also the adversarial workload for the simulator machinery:
+multiplicity counting must stay correct while the number of match targets
+changes every few steps, and the propensity cache is invalidated by
+almost every firing (structural rules).
+"""
+
+from __future__ import annotations
+
+from repro.cwc.model import Model, Observable
+from repro.cwc.multiset import Multiset
+from repro.cwc.rule import (
+    CompartmentPattern,
+    CompartmentRHS,
+    Pattern,
+    RHS,
+    Rule,
+)
+from repro.cwc.term import Compartment, Term
+
+
+def cell_population_model(n_cells: int = 4, biomass0: int = 2,
+                          growth: float = 1.0,
+                          division_threshold: int = 6,
+                          division: float = 0.5,
+                          death: float = 0.05) -> Model:
+    """Build the population model.
+
+    * ``grow``: each cell accumulates one ``x`` at rate ``growth`` per
+      cell (mass action on the membrane marker, so every cell grows
+      independently);
+    * ``divide``: a cell holding ``division_threshold`` biomass splits:
+      the mother keeps the residual, a daughter starts fresh (rate
+      ``division`` per eligible cell);
+    * ``die``: any cell is destroyed with its content (rate ``death``).
+    """
+    term = Term()
+    for _ in range(n_cells):
+        term.add_compartment(Compartment(
+            "cell", Multiset.from_string("m"),
+            Term(Multiset({"x": biomass0}))))
+
+    any_cell = CompartmentPattern("cell", Multiset(), Multiset())
+    loaded_cell = CompartmentPattern(
+        "cell", Multiset(), Multiset({"x": division_threshold}))
+
+    rules = [
+        # growth: h = number of cells (each an independent match target)
+        Rule("grow", "top",
+             Pattern(compartments=(any_cell,)),
+             RHS(compartments=(
+                 CompartmentRHS(from_match=0,
+                                add_content=Multiset({"x": 1})),)),
+             growth),
+        # division: consumes `division_threshold` biomass from the mother
+        # (matched), re-emits half into the mother and spawns a daughter
+        # with the other half
+        Rule("divide", "top",
+             Pattern(compartments=(loaded_cell,)),
+             RHS(compartments=(
+                 CompartmentRHS(from_match=0, add_content=Multiset(
+                     {"x": division_threshold // 2})),
+                 CompartmentRHS(from_match=None, label="cell",
+                                add_wrap=Multiset.from_string("m"),
+                                add_content=Multiset(
+                                    {"x": division_threshold
+                                     - division_threshold // 2})),)),
+             division),
+        # death: the matched compartment is consumed (not re-emitted)
+        Rule("die", "top",
+             Pattern(compartments=(any_cell,)),
+             RHS(),
+             death),
+    ]
+    observables = (
+        Observable("biomass", "x", label="cell"),
+    )
+    return Model("cell-population", term, rules, observables)
+
+
+def count_cells(term: Term) -> int:
+    """Population size of a simulated term."""
+    return sum(1 for c in term.walk_compartments() if c.label == "cell")

@@ -1,0 +1,34 @@
+"""Stochastic Lotka-Volterra prey/predator dynamics.
+
+Gillespie's original oscillatory example.  Trajectories are *heavily
+unbalanced*: the system oscillates with growing stochastic amplitude until
+one species goes extinct, at which point the trajectory either explodes
+(predator extinct first) or freezes (prey extinct) -- per-trajectory cost
+varies by orders of magnitude, which is exactly the load-balancing stress
+the paper's quantum-based farm scheduling addresses.
+"""
+
+from __future__ import annotations
+
+from repro.cwc.network import Reaction, ReactionNetwork
+
+
+def lotka_volterra_network(prey0: int = 1000, predator0: int = 1000,
+                           birth: float = 10.0,
+                           predation: float = 0.01,
+                           death: float = 10.0) -> ReactionNetwork:
+    """``prey -> 2 prey`` / ``prey + pred -> 2 pred`` / ``pred -> 0``.
+
+    Default rates give a mean period of about 1 time unit and roughly
+    balanced mean populations (``death/predation`` and
+    ``birth/predation``).
+    """
+    reactions = [
+        Reaction.make("prey_birth", {"prey": 1}, {"prey": 2}, birth),
+        Reaction.make("predation", {"prey": 1, "pred": 1}, {"pred": 2},
+                      predation),
+        Reaction.make("pred_death", {"pred": 1}, {}, death),
+    ]
+    return ReactionNetwork("lotka-volterra",
+                           {"prey": prey0, "pred": predator0},
+                           reactions, observables=("prey", "pred"))

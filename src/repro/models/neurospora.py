@@ -1,0 +1,175 @@
+"""The Neurospora circadian clock model used throughout the paper.
+
+The model (Leloup, Gonze & Goldbeter, *J. Biol. Rhythms* 1999) describes
+circadian oscillations based on transcriptional regulation of the
+*frequency* (*frq*) gene: the nuclear FRQ protein represses transcription
+of its own mRNA, closing a delayed negative feedback loop that produces
+limit-cycle oscillations with a period of roughly 21.5 hours.
+
+Species (concentrations in nM in the original ODEs):
+
+* ``M``  -- *frq* mRNA (cytosol);
+* ``FC`` -- cytosolic FRQ protein;
+* ``FN`` -- nuclear FRQ protein.
+
+Deterministic equations::
+
+    dM/dt  = vs * KI^n / (KI^n + FN^n)  -  vm * M / (Km + M)
+    dFC/dt = ks * M  -  vd * FC / (Kd + FC)  -  k1 * FC  +  k2 * FN
+    dFN/dt = k1 * FC  -  k2 * FN
+
+The stochastic version scales concentrations by the system size ``omega``
+(molecules per nM): larger omega means more molecules, lower intrinsic
+noise and more SSA steps per simulated hour -- the knob the performance
+experiments use to set trajectory granularity.
+
+Two constructions are provided:
+
+* :func:`neurospora_network` -- the flat 3-species reaction network
+  (the engine used for performance measurements);
+* :func:`neurospora_cwc_model` -- a compartmentalised CWC rendering:
+  a ``cell`` compartment containing a ``nucleus`` compartment;
+  transcription happens *inside* the nucleus (where the repressor lives,
+  so the Hill law reads local counts), nascent mRNA is exported quickly,
+  and the protein shuttles between cytosol and nucleus through
+  compartment rewrite rules.  This exercises every tree-matching feature
+  the calculus has while preserving the same dynamics (export is fast:
+  ``k_exp >> vs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cwc.model import Model, Observable
+from repro.cwc.multiset import Multiset
+from repro.cwc.network import Reaction, ReactionNetwork
+from repro.cwc.rates import HillRepression, MichaelisMenten
+from repro.cwc.rule import (
+    CompartmentPattern,
+    CompartmentRHS,
+    Pattern,
+    RHS,
+    Rule,
+)
+from repro.cwc.term import Compartment, Term
+
+
+@dataclass(frozen=True)
+class NeurosporaParams:
+    """Published parameter set (Leloup-Gonze-Goldbeter 1999, Neurospora).
+
+    Units: concentrations in nM, rates in nM/h or 1/h; the deterministic
+    period is about 21.5 h.
+    """
+
+    vs: float = 1.6    # maximal transcription rate (nM/h)
+    vm: float = 0.505  # maximal mRNA degradation rate (nM/h)
+    Km: float = 0.5    # Michaelis constant, mRNA degradation (nM)
+    ks: float = 0.5    # translation rate (1/h)
+    vd: float = 1.4    # maximal FRQ degradation rate (nM/h)
+    Kd: float = 0.13   # Michaelis constant, FRQ degradation (nM)
+    k1: float = 0.5    # FC -> FN transport (1/h)
+    k2: float = 0.6    # FN -> FC transport (1/h)
+    KI: float = 1.0    # repression threshold (nM)
+    n: float = 4.0     # Hill coefficient
+    # initial concentrations (on the limit cycle's basin)
+    M0: float = 1.0
+    FC0: float = 0.5
+    FN0: float = 1.0
+
+
+def neurospora_network(omega: float = 100.0,
+                       params: NeurosporaParams | None = None
+                       ) -> ReactionNetwork:
+    """The flat stochastic Neurospora model at system size ``omega``."""
+    p = params or NeurosporaParams()
+    reactions = [
+        Reaction.make("transcription", {}, {"M": 1},
+                      HillRepression(p.vs, p.KI, p.n, "FN", omega)),
+        Reaction.make("mrna_decay", {"M": 1}, {},
+                      MichaelisMenten(p.vm, p.Km, "M", omega)),
+        Reaction.make("translation", {"M": 1}, {"M": 1, "FC": 1}, p.ks),
+        Reaction.make("frq_decay", {"FC": 1}, {},
+                      MichaelisMenten(p.vd, p.Kd, "FC", omega)),
+        Reaction.make("transport_in", {"FC": 1}, {"FN": 1}, p.k1),
+        Reaction.make("transport_out", {"FN": 1}, {"FC": 1}, p.k2),
+    ]
+    initial = {
+        "M": int(round(p.M0 * omega)),
+        "FC": int(round(p.FC0 * omega)),
+        "FN": int(round(p.FN0 * omega)),
+    }
+    return ReactionNetwork("neurospora", initial, reactions,
+                           observables=("M", "FC", "FN"))
+
+
+def neurospora_cwc_model(omega: float = 100.0,
+                         params: NeurosporaParams | None = None,
+                         k_exp: float = 50.0) -> Model:
+    """The compartmentalised CWC rendering (see module docstring).
+
+    Atoms: ``M`` (mRNA), ``F`` (FRQ protein), ``Mn`` (nascent nuclear
+    mRNA); the nucleus is a compartment labelled ``nucleus`` (membrane
+    atom ``nm``) inside a ``cell`` compartment (membrane atom ``cm``).
+    """
+    p = params or NeurosporaParams()
+    nucleus = Compartment(
+        "nucleus", Multiset.from_string("nm"),
+        Term(Multiset({"F": int(round(p.FN0 * omega))})))
+    cell_content = Term(Multiset({
+        "M": int(round(p.M0 * omega)),
+        "F": int(round(p.FC0 * omega)),
+    }))
+    cell_content.add_compartment(nucleus)
+    cell = Compartment("cell", Multiset.from_string("cm"), cell_content)
+    term = Term()
+    term.add_compartment(cell)
+
+    nucleus_pattern = CompartmentPattern("nucleus", Multiset(), Multiset())
+
+    rules = [
+        # transcription inside the nucleus: the Hill repressor F is local
+        Rule("transcription", "nucleus",
+             Pattern(), RHS(atoms=Multiset({"Mn": 1})),
+             HillRepression(p.vs, p.KI, p.n, "F", omega)),
+        # fast export of nascent mRNA out of the nucleus
+        Rule("export", "cell",
+             Pattern(compartments=(
+                 CompartmentPattern("nucleus", Multiset(),
+                                    Multiset({"Mn": 1})),)),
+             RHS(atoms=Multiset({"M": 1}),
+                 compartments=(CompartmentRHS(from_match=0),)),
+             k_exp),
+        # cytosolic mRNA dynamics
+        Rule("mrna_decay", "cell",
+             Pattern(atoms=Multiset({"M": 1})), RHS(),
+             MichaelisMenten(p.vm, p.Km, "M", omega)),
+        Rule("translation", "cell",
+             Pattern(atoms=Multiset({"M": 1})),
+             RHS(atoms=Multiset({"M": 1, "F": 1})), p.ks),
+        Rule("frq_decay", "cell",
+             Pattern(atoms=Multiset({"F": 1})), RHS(),
+             MichaelisMenten(p.vd, p.Kd, "F", omega)),
+        # protein shuttling through the nuclear membrane
+        Rule("transport_in", "cell",
+             Pattern(atoms=Multiset({"F": 1}),
+                     compartments=(nucleus_pattern,)),
+             RHS(compartments=(
+                 CompartmentRHS(from_match=0,
+                                add_content=Multiset({"F": 1})),)),
+             p.k1),
+        Rule("transport_out", "cell",
+             Pattern(compartments=(
+                 CompartmentPattern("nucleus", Multiset(),
+                                    Multiset({"F": 1})),)),
+             RHS(atoms=Multiset({"F": 1}),
+                 compartments=(CompartmentRHS(from_match=0),)),
+             p.k2),
+    ]
+    observables = (
+        Observable("M", "M", label="cell"),
+        Observable("FC", "F", label="cell"),
+        Observable("FN", "F", label="nucleus"),
+    )
+    return Model("neurospora-cwc", term, rules, observables)

@@ -1,0 +1,34 @@
+"""A bistable genetic toggle switch (Gardner, Cantor & Collins 2000).
+
+Two genes repress each other; stochastic trajectories commit to one of two
+stable expression states and occasionally flip.  This is the *multi-stable*
+system class the paper singles out as the worst case for GPU execution
+(divergent trajectories) and the natural use case for the analysis
+pipeline's k-means engine (trajectory cuts cluster around the two modes).
+"""
+
+from __future__ import annotations
+
+from repro.cwc.network import Reaction, ReactionNetwork
+from repro.cwc.rates import HillRepression
+
+
+def toggle_switch_network(omega: float = 50.0,
+                          alpha1: float = 3.2, alpha2: float = 3.2,
+                          beta: float = 2.5, gamma: float = 2.5,
+                          K: float = 1.0,
+                          degradation: float = 1.0) -> ReactionNetwork:
+    """Symmetric toggle: ``0 -> U`` repressed by V, ``0 -> V`` repressed
+    by U, linear degradation of both.  ``alpha1 == alpha2`` makes the two
+    attractors equally likely from a symmetric start."""
+    reactions = [
+        Reaction.make("make_u", {}, {"U": 1},
+                      HillRepression(alpha1, K, beta, "V", omega)),
+        Reaction.make("make_v", {}, {"V": 1},
+                      HillRepression(alpha2, K, gamma, "U", omega)),
+        Reaction.make("decay_u", {"U": 1}, {}, degradation),
+        Reaction.make("decay_v", {"V": 1}, {}, degradation),
+    ]
+    initial = {"U": int(round(omega)), "V": int(round(omega))}
+    return ReactionNetwork("toggle-switch", initial, reactions,
+                           observables=("U", "V"))

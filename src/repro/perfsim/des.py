@@ -1,0 +1,199 @@
+"""A minimal discrete-event simulation kernel (simpy work-alike).
+
+Processes are generators that yield *events*:
+
+* ``Timeout(delay)`` -- resume after ``delay`` simulated time;
+* ``store.get()``    -- resume with the next item from a store;
+* ``store.put(x)``   -- resume once there is room (stores are bounded).
+
+The kernel is deterministic: the event queue is ordered by
+``(time, sequence number)``, so two runs of the same model produce the
+same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+
+class Event:
+    """Base class: something a process can wait on."""
+
+    __slots__ = ("env", "callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """Fires after ``delay`` simulated time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.triggered = True
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator
+    returns (value = the generator's return value)."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        self._generator = generator
+        # bootstrap: step the generator at the current time
+        kick = Event(env)
+        kick.callbacks.append(self._resume)
+        kick.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield events")
+        target.callbacks.append(self._resume)
+
+
+class Environment:
+    """Event loop: schedules events in (time, sequence) order."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def run(self, until: Optional[Event] = None,
+            max_events: int = 100_000_000) -> Any:
+        """Run until the queue drains or ``until`` (an event) fires.
+        Returns ``until``'s value when given."""
+        processed = 0
+        while self._queue:
+            time, _, event = heapq.heappop(self._queue)
+            self.now = time
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+            processed += 1
+            if until is not None and until.triggered:
+                return until.value
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"DES did not settle after {max_events} events "
+                    "(livelock in the model?)")
+        if until is not None and not until.triggered:
+            raise RuntimeError("run() ended but the awaited event never fired")
+        return until.value if until is not None else None
+
+
+class Store:
+    """A bounded FIFO connecting processes (the DES view of a channel)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once the item has been enqueued."""
+        event = Event(self.env)
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+            self._dispatch()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            getter.succeed(self._items.popleft())
+            while self._putters and len(self._items) < self.capacity:
+                putter, item = self._putters.popleft()
+                self._items.append(item)
+                putter.succeed()
+        while self._putters and len(self._items) < self.capacity:
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Resource:
+    """N identical slots; acquire/release (used for NICs and core pools)."""
+
+    def __init__(self, env: Environment, slots: int, name: str = ""):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.env = env
+        self.slots = slots
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        event = Event(self.env)
+        if self._in_use < self.slots:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            if self._in_use <= 0:
+                raise RuntimeError("release without acquire")
+            self._in_use -= 1

@@ -1,0 +1,189 @@
+"""Per-trajectory, per-quantum cost traces for the performance models.
+
+The unit of work in the paper's farm is *one simulation quantum of one
+trajectory*; its cost is the number of SSA steps the trajectory happens to
+execute in that quantum times the per-step cost.  Step counts are not
+uniform: the total propensity of an oscillatory model (Neurospora) swings
+along the limit cycle, so per-quantum cost oscillates with a
+trajectory-specific phase; on top of that there is short-term stochastic
+jitter.  Both effects matter: the oscillation drives warp divergence on
+the GPU (Table I) and load imbalance in the farm, the jitter drives
+scheduling noise.
+
+:class:`TrajectoryWorkload` generates synthetic traces from that
+three-parameter statistical model (mean rate, oscillation amplitude/period
+with random phases, lognormal jitter).  :func:`measure_workload` fits the
+parameters against the *real* Python engine for any model, so the DES is
+fed with measured granularity (see ``repro/perfsim/calibration.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrajectoryWorkload:
+    """Synthetic per-quantum SSA step counts for ``n_trajectories``.
+
+    Defaults are fitted to the Neurospora model at omega=100 (see
+    :func:`measure_workload` and the calibration test): about 590
+    steps/hour on average, oscillating +/-35% with the 21.5 h circadian
+    period, with ~10% per-quantum jitter.
+    """
+
+    n_trajectories: int
+    t_end: float
+    quantum: float
+    sample_every: float
+    n_observables: int = 3
+    steps_per_hour: float = 590.0
+    oscillation_amplitude: float = 0.55
+    oscillation_period: float = 21.5
+    jitter_cv: float = 0.02
+    #: add Poisson counting noise: a quantum of ``k`` expected steps gets
+    #: an extra ``1/sqrt(k)`` coefficient of variation (SSA step counts
+    #: are counting processes, so short quanta are relatively noisier --
+    #: this is what bounds how much GPU re-balancing can gain from very
+    #: short quanta)
+    poisson_noise: bool = True
+    seed: int = 0
+    _phases: list[float] = field(init=False, repr=False)
+    _jitter_rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.n_trajectories < 1:
+            raise ValueError("n_trajectories must be >= 1")
+        if self.t_end <= 0 or self.quantum <= 0 or self.sample_every <= 0:
+            raise ValueError("t_end, quantum, sample_every must be > 0")
+        if not 0.0 <= self.oscillation_amplitude < 1.0:
+            raise ValueError("oscillation_amplitude must be in [0, 1)")
+        rng = random.Random(self.seed)
+        self._phases = [rng.random() for _ in range(self.n_trajectories)]
+        self._jitter_rng = random.Random(self.seed + 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_quanta(self) -> int:
+        """Quanta per trajectory (last one may be shorter)."""
+        return math.ceil(self.t_end / self.quantum - 1e-12)
+
+    @property
+    def n_grid_points(self) -> int:
+        return int(round(self.t_end / self.sample_every)) + 1
+
+    def quantum_span(self, q: int) -> tuple[float, float]:
+        start = q * self.quantum
+        return start, min(start + self.quantum, self.t_end)
+
+    def samples_in_quantum(self, q: int) -> int:
+        """Grid points sampled during quantum ``q`` (quantum 0 includes
+        the t=0 sample)."""
+        start, end = self.quantum_span(q)
+        first = 0 if q == 0 else math.floor(start / self.sample_every) + 1
+        last = math.floor(end / self.sample_every + 1e-9)
+        last = min(last, self.n_grid_points - 1)
+        return max(0, last - first + 1)
+
+    def rate(self, trajectory: int, t: float) -> float:
+        """Instantaneous SSA step rate (steps per simulated hour)."""
+        phase = self._phases[trajectory]
+        osc = 1.0 + self.oscillation_amplitude * math.sin(
+            2.0 * math.pi * (t / self.oscillation_period + phase))
+        return self.steps_per_hour * osc
+
+    def quantum_steps(self, trajectory: int, q: int) -> float:
+        """Expected-path step count of quantum ``q`` for ``trajectory``
+        (deterministic given the seed)."""
+        start, end = self.quantum_span(q)
+        mid = (start + end) / 2.0
+        base = self.rate(trajectory, mid) * (end - start)
+        cv2 = self.jitter_cv ** 2
+        if self.poisson_noise and base > 0:
+            cv2 += 1.0 / base
+        if cv2 <= 0.0:
+            return base
+        # deterministic per-(trajectory, quantum) lognormal jitter
+        rng = random.Random((self.seed, trajectory, q).__hash__())
+        sigma = math.sqrt(math.log(1.0 + cv2))
+        return base * math.exp(rng.gauss(-sigma * sigma / 2.0, sigma))
+
+    def trajectory_steps(self, trajectory: int) -> float:
+        return sum(self.quantum_steps(trajectory, q)
+                   for q in range(self.n_quanta))
+
+    def total_steps(self) -> float:
+        return sum(self.trajectory_steps(i)
+                   for i in range(self.n_trajectories))
+
+    # message sizes (bytes) for the distributed model ---------------------
+    def task_message_size(self) -> float:
+        """A serialised simulation task: term state + rule table."""
+        return 2048.0
+
+    def result_message_size(self, q: int) -> float:
+        """A serialised quantum result: samples * observables * 8 bytes,
+        plus framing."""
+        return 64.0 + self.samples_in_quantum(q) * self.n_observables * 8.0
+
+
+def measure_workload(network, t_end: float, quantum: float,
+                     sample_every: float, n_probe: int = 4,
+                     seed: int = 0) -> TrajectoryWorkload:
+    """Fit a :class:`TrajectoryWorkload` against the real flat engine.
+
+    Runs ``n_probe`` real trajectories quantum by quantum, recording step
+    counts, then estimates mean rate, oscillation amplitude (from the
+    per-trajectory rate excursions) and jitter.
+    """
+    from repro.cwc.network import FlatSimulator
+
+    per_quantum: list[list[float]] = []
+    for probe in range(n_probe):
+        simulator = FlatSimulator(network, seed=seed + probe)
+        steps_before = 0
+        counts = []
+        t = 0.0
+        while t < t_end - 1e-9:
+            step_target = min(t + quantum, t_end)
+            simulator.advance(step_target - simulator.time)
+            counts.append(simulator.steps - steps_before)
+            steps_before = simulator.steps
+            t = step_target
+        per_quantum.append(counts)
+
+    flat = [c for counts in per_quantum for c in counts]
+    mean_steps = sum(flat) / len(flat)
+    steps_per_hour = mean_steps / quantum
+    # oscillation amplitude: mean per-trajectory relative excursion
+    amplitudes = []
+    for counts in per_quantum:
+        mean_c = sum(counts) / len(counts)
+        if mean_c > 0:
+            amplitudes.append(
+                (max(counts) - min(counts)) / (2.0 * mean_c))
+    amplitude = min(0.95, sum(amplitudes) / len(amplitudes))
+    # jitter: residual CV after removing the slow oscillation via a
+    # 3-point moving-average detrend
+    residuals = []
+    for counts in per_quantum:
+        for i in range(1, len(counts) - 1):
+            local = (counts[i - 1] + counts[i] + counts[i + 1]) / 3.0
+            if local > 0:
+                residuals.append(counts[i] / local - 1.0)
+    if residuals:
+        mean_r = sum(residuals) / len(residuals)
+        var_r = sum((r - mean_r) ** 2 for r in residuals) / max(
+            1, len(residuals) - 1)
+        jitter = math.sqrt(max(0.0, var_r))
+    else:
+        jitter = 0.0
+    n_observables = len(network.observables)
+    return TrajectoryWorkload(
+        n_trajectories=n_probe, t_end=t_end, quantum=quantum,
+        sample_every=sample_every, n_observables=n_observables,
+        steps_per_hour=steps_per_hour,
+        oscillation_amplitude=amplitude,
+        jitter_cv=min(jitter, 0.5), seed=seed)

@@ -1,0 +1,141 @@
+"""Assemble and run the complete simulation-analysis workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.analysis.engines import GatherNode, StatEngineNode, WindowStatistics
+from repro.analysis.stats import CutStatistics
+from repro.analysis.windows import SlidingWindowNode
+from repro.cwc.model import Model
+from repro.cwc.network import ReactionNetwork
+from repro.ff.farm import Farm
+from repro.ff.node import Node
+from repro.ff.pipeline import Pipeline
+from repro.ff.executor import run as ff_run
+from repro.pipeline.config import WorkflowConfig
+from repro.pipeline.steering import SteeringController
+from repro.sim.alignment import TrajectoryAligner
+from repro.sim.engine import SimEngineNode
+from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
+from repro.sim.trajectory import Cut, Trajectory, assemble_trajectories
+
+
+class _CutTee(Node):
+    """Optional stage retaining raw cuts for post-hoc use (examples that
+    need whole trajectories); forwards every cut unchanged."""
+
+    def __init__(self, store: list, name: str = "cut-tee"):
+        super().__init__(name=name)
+        self.store = store
+
+    def svc(self, cut: Cut) -> Cut:
+        self.store.append(cut)
+        return cut
+
+
+class _ProgressNode(Node):
+    """Feeds the steering controller with every analysed window."""
+
+    def __init__(self, controller: SteeringController, name: str = "progress"):
+        super().__init__(name=name)
+        self.controller = controller
+
+    def svc(self, stats: WindowStatistics) -> WindowStatistics:
+        self.controller._notify(stats)
+        return stats
+
+
+@dataclass
+class WorkflowResult:
+    """Everything a run produced, plus summary helpers."""
+
+    config: WorkflowConfig
+    windows: list[WindowStatistics]
+    cuts: list[Cut] = field(default_factory=list)
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def cut_statistics(self) -> list[CutStatistics]:
+        """Per-cut summaries across all windows, deduplicated by grid
+        index (overlapping windows recompute shared cuts) and in grid
+        order."""
+        by_grid: dict[int, CutStatistics] = {}
+        for window in self.windows:
+            for stats in window.cuts:
+                by_grid.setdefault(stats.grid_index, stats)
+        return [by_grid[k] for k in sorted(by_grid)]
+
+    def mean_trajectory(self, observable: int) -> tuple[list[float], list[float]]:
+        """``(times, ensemble mean)`` for one observable."""
+        stats = self.cut_statistics()
+        return ([s.time for s in stats],
+                [s.mean[observable] for s in stats])
+
+    def trajectories(self) -> list[Trajectory]:
+        """Re-assembled full trajectories (requires ``keep_cuts=True``)."""
+        if not self.cuts:
+            raise ValueError(
+                "no raw cuts were retained; run with keep_cuts=True")
+        return assemble_trajectories(self.cuts, self.config.n_simulations)
+
+
+def build_workflow(model: Union[Model, ReactionNetwork],
+                   config: WorkflowConfig,
+                   controller: Optional[SteeringController] = None,
+                   cut_store: Optional[list] = None) -> Pipeline:
+    """Wire the paper's Fig. 2 architecture for ``model``.
+
+    The returned :class:`~repro.ff.pipeline.Pipeline` streams
+    :class:`~repro.analysis.engines.WindowStatistics` objects as its
+    output; run it with :func:`repro.ff.run` or via :func:`run_workflow`.
+    """
+    generator = TaskGenerator(
+        model, config.n_simulations, config.t_end, config.quantum,
+        config.sample_every, seed=config.seed, engine=config.engine)
+    stop_requested = (
+        (lambda: controller.stop_requested) if controller is not None
+        else None)
+    sim_farm = Farm(
+        [SimEngineNode(name=f"sim-eng-{i}")
+         for i in range(config.n_sim_workers)],
+        emitter=SimTaskEmitter(stop_requested=stop_requested),
+        collector=TrajectoryAligner(config.n_simulations),
+        feedback=True,
+        scheduling=config.scheduling,
+        name="sim-farm")
+    stages: list = [generator, sim_farm]
+    if cut_store is not None:
+        stages.append(_CutTee(cut_store))
+    stages.append(SlidingWindowNode(
+        config.window_size, config.window_slide))
+    stat_farm = Farm(
+        [StatEngineNode(kmeans_k=config.kmeans_k,
+                        filter_width=config.filter_width,
+                        histogram_bins=config.histogram_bins,
+                        name=f"stat-eng-{i}")
+         for i in range(config.n_stat_workers)],
+        collector=GatherNode(),
+        ordered=True,
+        scheduling=config.scheduling,
+        name="stat-farm")
+    stages.append(stat_farm)
+    if controller is not None:
+        stages.append(_ProgressNode(controller))
+    return Pipeline(stages, name="cwc-workflow")
+
+
+def run_workflow(model: Union[Model, ReactionNetwork],
+                 config: WorkflowConfig,
+                 controller: Optional[SteeringController] = None
+                 ) -> WorkflowResult:
+    """Build and execute the workflow; see :func:`build_workflow`."""
+    cut_store: Optional[list] = [] if config.keep_cuts else None
+    workflow = build_workflow(model, config, controller=controller,
+                              cut_store=cut_store)
+    windows = ff_run(workflow, backend=config.backend)
+    return WorkflowResult(config=config, windows=windows,
+                          cuts=cut_store or [])

@@ -1,0 +1,60 @@
+"""Configuration of a simulation-analysis run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class WorkflowConfig:
+    """All knobs of the paper's workflow in one place.
+
+    Time quantities are in simulation-time units (hours for the Neurospora
+    model).  ``quantum`` is the paper's *simulation quantum*: how much
+    simulated time a simulation engine advances one trajectory before
+    rescheduling it -- small quanta improve load balancing and bound the
+    alignment buffer, at the cost of more scheduling traffic (the trade-off
+    Table I explores on the GPU).
+    """
+
+    n_simulations: int = 16
+    t_end: float = 50.0
+    sample_every: float = 0.5
+    quantum: float = 2.5
+    n_sim_workers: int = 4
+    n_stat_workers: int = 1
+    window_size: int = 10
+    window_slide: Optional[int] = None  # None -> non-overlapping
+    kmeans_k: Optional[int] = None
+    filter_width: Optional[int] = None
+    histogram_bins: Optional[int] = None
+    seed: Optional[int] = 0
+    engine: str = "auto"          # "flat" | "cwc" | "auto"
+    scheduling: str = "ondemand"  # farm dispatch policy
+    backend: str = "threads"      # "threads" | "sequential"
+    keep_cuts: bool = False       # retain raw cuts (memory!) for examples
+
+    def __post_init__(self) -> None:
+        if self.n_simulations < 1:
+            raise ValueError("n_simulations must be >= 1")
+        if self.t_end <= 0 or self.sample_every <= 0 or self.quantum <= 0:
+            raise ValueError("t_end, sample_every, quantum must be > 0")
+        if self.n_sim_workers < 1 or self.n_stat_workers < 1:
+            raise ValueError("worker counts must be >= 1")
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.window_slide is not None and not (
+                1 <= self.window_slide <= self.window_size):
+            raise ValueError("window_slide must be in [1, window_size]")
+
+    @property
+    def n_grid_points(self) -> int:
+        """Sampling-grid points per trajectory, including t=0 and t_end."""
+        return int(round(self.t_end / self.sample_every)) + 1
+
+    @property
+    def n_quanta(self) -> int:
+        """Quanta needed per trajectory (ceiling)."""
+        import math
+        return math.ceil(self.t_end / self.quantum)

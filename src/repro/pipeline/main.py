@@ -1,0 +1,121 @@
+"""Command-line front-end: ``python -m repro.pipeline.main``.
+
+The textual counterpart of the paper's GUI: pick a model, run the
+simulation-analysis workflow, watch windows stream in, and get a final
+summary (including the oscillation-period estimate for oscillatory
+models).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.peaks import ensemble_period
+from repro.models import (
+    lotka_volterra_network,
+    mm_enzyme_network,
+    neurospora_cwc_model,
+    neurospora_network,
+    toggle_switch_network,
+)
+from repro.pipeline.builder import run_workflow
+from repro.pipeline.config import WorkflowConfig
+from repro.pipeline.steering import ProgressEvent, SteeringController
+
+_MODELS = {
+    "neurospora": lambda omega: neurospora_network(omega=omega),
+    "neurospora-cwc": lambda omega: neurospora_cwc_model(omega=omega),
+    "lotka-volterra": lambda omega: lotka_volterra_network(),
+    "toggle": lambda omega: toggle_switch_network(omega=omega),
+    "enzyme": lambda omega: mm_enzyme_network(),
+}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.pipeline",
+        description="CWC simulation-analysis workflow runner")
+    parser.add_argument("--model", choices=sorted(_MODELS), default="neurospora")
+    parser.add_argument("--omega", type=float, default=100.0,
+                        help="system size (molecules per concentration unit)")
+    parser.add_argument("--simulations", type=int, default=16)
+    parser.add_argument("--t-end", type=float, default=96.0)
+    parser.add_argument("--sample-every", type=float, default=0.5)
+    parser.add_argument("--quantum", type=float, default=2.0)
+    parser.add_argument("--sim-workers", type=int, default=4)
+    parser.add_argument("--stat-workers", type=int, default=1)
+    parser.add_argument("--window", type=int, default=20)
+    parser.add_argument("--slide", type=int, default=None)
+    parser.add_argument("--kmeans", type=int, default=None)
+    parser.add_argument("--filter-width", type=int, default=None)
+    parser.add_argument("--histogram", type=int, default=None,
+                        metavar="BINS",
+                        help="per-observable population histograms")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--engine", choices=("auto", "flat", "cwc"),
+                        default="auto")
+    parser.add_argument("--backend", choices=("threads", "sequential"),
+                        default="threads")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-window progress lines")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    model = _MODELS[args.model](args.omega)
+    config = WorkflowConfig(
+        n_simulations=args.simulations, t_end=args.t_end,
+        sample_every=args.sample_every, quantum=args.quantum,
+        n_sim_workers=args.sim_workers, n_stat_workers=args.stat_workers,
+        window_size=args.window, window_slide=args.slide,
+        kmeans_k=args.kmeans, filter_width=args.filter_width,
+        histogram_bins=args.histogram,
+        seed=args.seed, engine=args.engine, backend=args.backend,
+        keep_cuts=True)
+
+    def on_progress(event: ProgressEvent) -> None:
+        if args.quiet:
+            return
+        last = event.statistics.cuts[-1]
+        means = " ".join(f"{m:9.2f}" for m in last.mean)
+        print(f"window {event.window_index:4d}  "
+              f"t=[{event.start_time:8.2f}, {event.end_time:8.2f}]  "
+              f"mean@end: {means}")
+
+    controller = SteeringController(on_progress=on_progress)
+    started = time.perf_counter()
+    result = run_workflow(model, config, controller=controller)
+    elapsed = time.perf_counter() - started
+
+    print(f"\n{result.n_windows} windows, "
+          f"{len(result.cut_statistics())} cuts, "
+          f"{config.n_simulations} trajectories, {elapsed:.2f}s wall-clock")
+
+    if args.histogram and result.windows:
+        final = result.windows[-1]
+        names = (model.observable_names
+                 if hasattr(model, "observable_names") else model.observables)
+        for obs, hist in sorted(final.histograms.items()):
+            modes = hist.mode_bins()
+            centers = hist.bin_centers()
+            peaks = ", ".join(f"{centers[i]:.0f}" for i in modes)
+            print(f"final population histogram [{names[obs]}]: "
+                  f"{hist.counts}  modes at ~{peaks}")
+
+    if args.model.startswith("neurospora"):
+        trajectories = result.trajectories()
+        estimate = ensemble_period(
+            [(t.times, t.column(0)) for t in trajectories],
+            min_prominence=0.2 * args.omega, smooth_width=5,
+            discard_transient=10.0)
+        print(f"oscillation period (M): {estimate.mean:.2f} "
+              f"+/- {estimate.std:.2f} h over {estimate.n_periods} "
+              f"local periods (deterministic model: 21.5 h)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Steering: the programmatic equivalent of the paper's GUI front-end.
+
+The paper's interface can "start new simulations, steer and terminate
+running simulations" and "view partial results during the run".  A
+:class:`SteeringController` provides exactly that surface: it is handed to
+:func:`repro.pipeline.builder.run_workflow`, receives a
+:class:`ProgressEvent` for every analysed window while the pipeline is
+still running, and its :meth:`stop` drains the run early (in-flight tasks
+are retired at their next quantum boundary instead of being re-dispatched).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.engines import WindowStatistics
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One analysed window, delivered while the run is in flight."""
+
+    window_index: int
+    start_time: float
+    end_time: float
+    statistics: WindowStatistics
+
+
+class SteeringController:
+    """Thread-safe run steering + progress observation."""
+
+    def __init__(self,
+                 on_progress: Optional[Callable[[ProgressEvent], None]] = None):
+        self._stop = threading.Event()
+        self._on_progress = on_progress
+        self._lock = threading.Lock()
+        self.windows_seen = 0
+        self.latest: Optional[WindowStatistics] = None
+
+    # -- control ---------------------------------------------------------
+    def stop(self) -> None:
+        """Request early termination: running trajectories are retired at
+        their next quantum boundary."""
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    # -- wiring (called by the pipeline) ----------------------------------
+    def _notify(self, stats: WindowStatistics) -> None:
+        with self._lock:
+            self.windows_seen += 1
+            self.latest = stats
+        if self._on_progress is not None:
+            self._on_progress(ProgressEvent(
+                window_index=stats.window_index,
+                start_time=stats.start_time,
+                end_time=stats.end_time,
+                statistics=stats))
+
+    def stop_after(self, n_windows: int) -> Callable[[ProgressEvent], None]:
+        """Helper: returns a progress callback that stops the run once
+        ``n_windows`` windows have been analysed (used in tests and the
+        steering example)."""
+        def callback(_event: ProgressEvent) -> None:
+            if self.windows_seen >= n_windows:
+                self.stop()
+        return callback

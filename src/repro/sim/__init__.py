@@ -1,0 +1,26 @@
+"""repro.sim: the simulation half of the paper's workflow (Fig. 2, left).
+
+The pipeline is *generation of simulation tasks* -> *farm of simulation
+engines* (with feedback rescheduling after every simulation quantum, for
+load balancing) -> *alignment of trajectories* (sorting quantum results
+into time-aligned cuts ready for on-line analysis).
+"""
+
+from repro.sim.task import SimulationTask, QuantumResult, make_tasks
+from repro.sim.trajectory import Cut, Trajectory, assemble_trajectories
+from repro.sim.engine import SimEngineNode
+from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
+from repro.sim.alignment import TrajectoryAligner
+
+__all__ = [
+    "SimulationTask",
+    "QuantumResult",
+    "make_tasks",
+    "Cut",
+    "Trajectory",
+    "assemble_trajectories",
+    "SimEngineNode",
+    "SimTaskEmitter",
+    "TaskGenerator",
+    "TrajectoryAligner",
+]

@@ -1,0 +1,31 @@
+"""The *simulation engine* farm worker (the paper's ``sim eng`` boxes).
+
+Each engine receives a :class:`~repro.sim.task.SimulationTask`, brings it
+forward by exactly one simulation quantum, streams the produced samples
+downstream (towards trajectory alignment) and reschedules the task back to
+the emitter along the farm's feedback channel.
+"""
+
+from __future__ import annotations
+
+from repro.ff.node import GO_ON, Node
+from repro.sim.task import SimulationTask
+
+
+class SimEngineNode(Node):
+    """Farm worker: one quantum per service call; see module docstring."""
+
+    def __init__(self, name: str = "sim-eng"):
+        super().__init__(name=name)
+        self.quanta_executed = 0
+        self.steps_executed = 0
+
+    def svc(self, task: SimulationTask):
+        steps_before = task.steps
+        result = task.run_quantum()
+        self.quanta_executed += 1
+        self.steps_executed += task.steps - steps_before
+        if result.samples or result.done:
+            self.ff_send_out(result)
+        self.send_feedback(task)
+        return GO_ON

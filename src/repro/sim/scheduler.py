@@ -1,0 +1,76 @@
+"""Task generation and quantum-based rescheduling (the farm emitter).
+
+``TaskGenerator`` is the paper's *generation of simulation tasks* stage:
+it turns a model and run parameters into independent simulation tasks,
+"each of them wrapped in a C++ object" -- here, a picklable Python object.
+
+``SimTaskEmitter`` is the scheduling logic of the *farm of simulation
+engines*: dispatch tasks on demand, re-dispatch every incomplete task that
+comes back on the feedback channel after a quantum, and end the stream
+once every task has reached its simulation end time.  An optional
+:class:`SteeringHook` lets a front-end steer/terminate the run while it is
+in flight (the paper's GUI can "start new simulations, steer and terminate
+running simulations").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Union
+
+from repro.cwc.model import Model
+from repro.cwc.network import ReactionNetwork
+from repro.ff.farm import MasterWorkerEmitter
+from repro.ff.node import SourceNode
+from repro.sim.task import SimulationTask, make_tasks
+
+
+class TaskGenerator(SourceNode):
+    """Source stage generating the independent simulation tasks."""
+
+    def __init__(self, model: Union[Model, ReactionNetwork],
+                 n_simulations: int, t_end: float, quantum: float,
+                 sample_every: float, seed: Optional[int] = 0,
+                 engine: str = "auto", name: str = "task-gen"):
+        super().__init__(name=name)
+        if n_simulations < 1:
+            raise ValueError(f"need >= 1 simulation, got {n_simulations}")
+        self.model = model
+        self.n_simulations = n_simulations
+        self.t_end = t_end
+        self.quantum = quantum
+        self.sample_every = sample_every
+        self.seed = seed
+        self.engine = engine
+
+    def generate(self) -> Iterable[SimulationTask]:
+        return iter(make_tasks(self.model, self.n_simulations, self.t_end,
+                               self.quantum, self.sample_every,
+                               seed=self.seed, engine=self.engine))
+
+
+class SimTaskEmitter(MasterWorkerEmitter):
+    """Master-worker emitter rescheduling incomplete tasks (see module
+    docstring).  ``stop_requested`` (a zero-argument callable) is polled on
+    every reschedule: when it returns True, in-flight tasks are retired
+    instead of re-dispatched, draining the run early."""
+
+    def __init__(self, stop_requested: Optional[Callable[[], bool]] = None,
+                 name: str = "sim-sched"):
+        super().__init__(name=name)
+        self._stop_requested = stop_requested
+        self.quanta_dispatched = 0
+
+    def is_complete(self, task: SimulationTask) -> bool:
+        if task.done:
+            return True
+        if self._stop_requested is not None and self._stop_requested():
+            return True
+        return False
+
+    def on_task(self, task: SimulationTask) -> SimulationTask:
+        self.quanta_dispatched += 1
+        return task
+
+    def on_reschedule(self, task: SimulationTask) -> SimulationTask:
+        self.quanta_dispatched += 1
+        return task

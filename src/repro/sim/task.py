@@ -1,0 +1,137 @@
+"""Simulation tasks: one stochastic trajectory, executed quantum by quantum.
+
+Each task wraps a simulator instance (either engine: CWC tree terms or the
+flat fast path) plus its progress bookkeeping.  ``run_quantum`` advances
+the trajectory by one *simulation quantum* (a fixed amount of simulated
+time) and returns the observable samples that fell inside the quantum, on
+the global sampling grid -- the stream the paper calls *raw simulation
+results*.
+
+Tasks are ordinary picklable objects, so they can cross process and
+(simulated) network boundaries -- the distributed simulator serialises
+exactly these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cwc.gillespie import CWCSimulator
+from repro.cwc.model import Model
+from repro.cwc.network import FlatSimulator, ReactionNetwork
+
+
+@dataclass
+class QuantumResult:
+    """Samples produced by one task during one quantum."""
+
+    task_id: int
+    #: (grid index, time, observable values) triples, in time order
+    samples: list[tuple[int, float, tuple[float, ...]]]
+    #: trajectory simulation time after this quantum
+    time: float
+    #: SSA steps executed so far (for cost accounting)
+    steps: int
+    done: bool
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class SimulationTask:
+    """One trajectory to simulate up to ``t_end``; see module docstring."""
+
+    def __init__(self, task_id: int,
+                 simulator: Union[CWCSimulator, FlatSimulator],
+                 t_end: float, quantum: float, sample_every: float):
+        if quantum <= 0 or sample_every <= 0 or t_end <= 0:
+            raise ValueError("t_end, quantum and sample_every must be > 0")
+        self.task_id = task_id
+        self.simulator = simulator
+        self.t_end = t_end
+        self.quantum = quantum
+        self.sample_every = sample_every
+        self._next_grid = 0  # next sampling grid index to emit
+
+    @property
+    def time(self) -> float:
+        return self.simulator.time
+
+    @property
+    def steps(self) -> int:
+        return self.simulator.steps
+
+    @property
+    def done(self) -> bool:
+        return self.time >= self.t_end - 1e-12
+
+    @property
+    def n_samples_total(self) -> int:
+        """Number of grid points in [0, t_end]."""
+        return int(round(self.t_end / self.sample_every)) + 1
+
+    def run_quantum(self) -> QuantumResult:
+        """Advance by one quantum (clamped at ``t_end``) and sample.
+
+        The simulator is driven from grid point to grid point so samples
+        are taken exactly on the global grid (times ``k * sample_every``).
+        """
+        if self.done:
+            return QuantumResult(self.task_id, [], self.time,
+                                 self.steps, True)
+        target = min(self.time + self.quantum, self.t_end)
+        samples: list[tuple[int, float, tuple[float, ...]]] = []
+        while True:
+            grid_time = self._next_grid * self.sample_every
+            if grid_time > target + 1e-12:
+                break
+            if grid_time > self.time:
+                self.simulator.advance(grid_time - self.time)
+            samples.append((self._next_grid, grid_time,
+                            self.simulator.observe()))
+            self._next_grid += 1
+            if grid_time >= self.t_end - 1e-12:
+                break
+        if self.time < target:
+            self.simulator.advance(target - self.time)
+        return QuantumResult(self.task_id, samples, self.time,
+                             self.steps, self.done)
+
+    def __repr__(self) -> str:
+        return (f"<SimulationTask {self.task_id} t={self.time:.3g}/"
+                f"{self.t_end:g}>")
+
+
+def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
+               t_end: float, quantum: float, sample_every: float,
+               seed: Optional[int] = 0,
+               engine: str = "auto") -> list[SimulationTask]:
+    """Create ``n_simulations`` independent tasks for ``model``.
+
+    ``engine`` selects the simulator: ``"flat"`` (plain Gillespie; requires
+    a :class:`ReactionNetwork` or a compartment-free model), ``"cwc"``
+    (tree-term engine) or ``"auto"`` (flat when possible).  Seeds are
+    derived as ``seed + task_id`` so runs are reproducible and trajectories
+    independent.
+    """
+    tasks = []
+    for task_id in range(n_simulations):
+        task_seed = None if seed is None else seed + task_id
+        simulator = _make_simulator(model, engine, task_seed)
+        tasks.append(SimulationTask(task_id, simulator, t_end, quantum,
+                                    sample_every))
+    return tasks
+
+
+def _make_simulator(model: Union[Model, ReactionNetwork], engine: str,
+                    seed: Optional[int]):
+    if isinstance(model, ReactionNetwork):
+        if engine == "cwc":
+            raise ValueError("a ReactionNetwork has no CWC term structure")
+        return FlatSimulator(model, seed=seed)
+    if engine == "flat" or (engine == "auto" and model.is_flat()):
+        return FlatSimulator(ReactionNetwork.from_model(model), seed=seed)
+    if engine in ("cwc", "auto"):
+        return CWCSimulator(model, seed=seed)
+    raise ValueError(f"unknown engine {engine!r}")

@@ -1,0 +1,64 @@
+"""Trajectory data: cuts (time-aligned cross sections) and full series.
+
+A *cut* is the paper's unit of on-line analysis: "an array containing the
+results of all simulations at a given simulation time".  The alignment
+stage produces a stream of cuts in grid order; the analysis pipeline
+consumes them through sliding windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class Cut:
+    """All trajectories' observables at one sampling-grid point."""
+
+    grid_index: int
+    time: float
+    #: ``values[task_id]`` -> observable tuple for that trajectory
+    values: list[tuple[float, ...]]
+
+    @property
+    def n_trajectories(self) -> int:
+        return len(self.values)
+
+    def observable(self, index: int) -> list[float]:
+        """The cross-section of one observable across all trajectories."""
+        return [v[index] for v in self.values]
+
+    def __repr__(self) -> str:
+        return f"<Cut #{self.grid_index} t={self.time:g} n={len(self.values)}>"
+
+
+@dataclass
+class Trajectory:
+    """One full assembled trajectory (mainly for tests and examples;
+    the streaming pipeline never materialises these)."""
+
+    task_id: int
+    times: list[float] = field(default_factory=list)
+    samples: list[tuple[float, ...]] = field(default_factory=list)
+
+    def column(self, index: int) -> list[float]:
+        return [s[index] for s in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def assemble_trajectories(cuts: Iterable[Cut],
+                          n_trajectories: int) -> list[Trajectory]:
+    """Transpose a stream of cuts back into per-trajectory series."""
+    trajectories = [Trajectory(task_id=i) for i in range(n_trajectories)]
+    for cut in sorted(cuts, key=lambda c: c.grid_index):
+        if len(cut.values) != n_trajectories:
+            raise ValueError(
+                f"cut #{cut.grid_index} has {len(cut.values)} trajectories, "
+                f"expected {n_trajectories}")
+        for trajectory, value in zip(trajectories, cut.values):
+            trajectory.times.append(cut.time)
+            trajectory.samples.append(value)
+    return trajectories

@@ -1,0 +1,78 @@
+"""k-means clustering."""
+
+import random
+
+import pytest
+
+from repro.analysis.kmeans import kmeans
+
+
+def blob(center, n, spread, rng):
+    return [[c + rng.uniform(-spread, spread) for c in center]
+            for _ in range(n)]
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = random.Random(1)
+        points = blob([0.0], 20, 0.5, rng) + blob([100.0], 20, 0.5, rng)
+        result = kmeans(points, k=2, seed=0)
+        left = {result.assignments[i] for i in range(20)}
+        right = {result.assignments[i] for i in range(20, 40)}
+        assert len(left) == 1 and len(right) == 1 and left != right
+        centers = sorted(c[0] for c in result.centroids)
+        assert centers[0] == pytest.approx(0.0, abs=1.0)
+        assert centers[1] == pytest.approx(100.0, abs=1.0)
+
+    def test_two_dimensional(self):
+        rng = random.Random(2)
+        points = (blob([0, 0], 15, 1.0, rng)
+                  + blob([10, 10], 15, 1.0, rng)
+                  + blob([0, 10], 15, 1.0, rng))
+        result = kmeans(points, k=3, seed=3)
+        assert sorted(result.cluster_sizes()) == [15, 15, 15]
+
+    def test_deterministic_for_seed(self):
+        rng = random.Random(3)
+        points = blob([0.0], 30, 5.0, rng)
+        a = kmeans(points, k=3, seed=42)
+        b = kmeans(points, k=3, seed=42)
+        assert a.assignments == b.assignments
+        assert a.centroids == b.centroids
+
+    def test_k_clamped_to_points(self):
+        result = kmeans([[1.0], [2.0]], k=10, seed=0)
+        assert result.k == 2
+
+    def test_single_point(self):
+        result = kmeans([[7.0]], k=1)
+        assert result.centroids == [[7.0]]
+        assert result.inertia == 0.0
+
+    def test_identical_points(self):
+        result = kmeans([[3.0]] * 10, k=2, seed=0)
+        assert result.inertia == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans([], k=1)
+
+    def test_k_positive(self):
+        with pytest.raises(ValueError):
+            kmeans([[1.0]], k=0)
+
+    def test_inertia_not_worse_than_single_cluster(self):
+        rng = random.Random(4)
+        points = blob([0.0], 20, 3.0, rng) + blob([50.0], 20, 3.0, rng)
+        one = kmeans(points, k=1, seed=0)
+        two = kmeans(points, k=2, seed=0)
+        assert two.inertia < one.inertia
+
+    def test_assignment_is_nearest_centroid(self):
+        rng = random.Random(5)
+        points = blob([0.0, 0.0], 25, 4.0, rng) + blob([20.0, 5.0], 25, 4.0, rng)
+        result = kmeans(points, k=2, seed=1)
+        for point, assigned in zip(points, result.assignments):
+            distances = [sum((x - c) ** 2 for x, c in zip(point, centroid))
+                         for centroid in result.centroids]
+            assert distances[assigned] == min(distances)

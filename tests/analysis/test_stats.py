@@ -1,0 +1,98 @@
+"""Streaming statistics."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import CutStatistics, OnlineStats, cut_statistics, quantile
+from repro.sim.trajectory import Cut
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        acc = OnlineStats()
+        assert acc.n == 0
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.variance)
+
+    def test_single_value(self):
+        acc = OnlineStats().extend([5.0])
+        assert acc.mean == 5.0
+        assert acc.variance == 0.0
+        assert acc.min == acc.max == 5.0
+
+    def test_matches_statistics_module(self):
+        data = [1.5, 2.5, -3.0, 4.25, 0.0, 10.0]
+        acc = OnlineStats().extend(data)
+        assert acc.mean == pytest.approx(statistics.mean(data))
+        assert acc.variance == pytest.approx(statistics.variance(data))
+        assert acc.std == pytest.approx(statistics.stdev(data))
+
+    @given(st.lists(floats, min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_welford_property(self, data):
+        acc = OnlineStats().extend(data)
+        assert acc.mean == pytest.approx(statistics.mean(data),
+                                         rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(statistics.variance(data),
+                                             rel=1e-6, abs=1e-6)
+        assert acc.min == min(data) and acc.max == max(data)
+
+    @given(st.lists(floats, min_size=1, max_size=50),
+           st.lists(floats, min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = OnlineStats().extend(a).merge(OnlineStats().extend(b))
+        direct = OnlineStats().extend(a + b)
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(direct.variance,
+                                                rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        acc = OnlineStats().extend([1.0, 2.0])
+        acc.merge(OnlineStats())
+        assert acc.n == 2
+        empty = OnlineStats()
+        empty.merge(OnlineStats().extend([1.0, 2.0]))
+        assert empty.mean == 1.5
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([1, 2, 3], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        data = [3, 7, 9]
+        assert quantile(data, 0.0) == 3
+        assert quantile(data, 1.0) == 9
+
+    def test_empty_is_nan(self):
+        assert math.isnan(quantile([], 0.5))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+
+class TestCutStatistics:
+    def test_per_observable_summary(self):
+        cut = Cut(grid_index=3, time=1.5,
+                  values=[(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)])
+        stats = cut_statistics(cut)
+        assert isinstance(stats, CutStatistics)
+        assert stats.grid_index == 3 and stats.time == 1.5
+        assert stats.n_trajectories == 3
+        assert stats.mean == (2.0, 20.0)
+        assert stats.minimum == (1.0, 10.0)
+        assert stats.maximum == (3.0, 30.0)
+        assert stats.median == (2.0, 20.0)
+        assert stats.variance[0] == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Sliding-window generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.windows import SlidingWindowNode, Window
+from repro.sim.trajectory import Cut
+
+
+class _Capture:
+    def __init__(self, node):
+        self.items = []
+        node._outbox = self
+
+    def send(self, item):
+        self.items.append(item)
+
+
+def cuts(n):
+    return [Cut(grid_index=g, time=float(g), values=[(float(g),)])
+            for g in range(n)]
+
+
+def feed(node, n):
+    out = _Capture(node)
+    for cut in cuts(n):
+        node.svc(cut)
+    node.svc_end()
+    return out.items
+
+
+class TestTumblingWindows:
+    def test_exact_multiple(self):
+        windows = feed(SlidingWindowNode(size=5), 10)
+        assert [len(w) for w in windows] == [5, 5]
+        assert [w.index for w in windows] == [0, 1]
+
+    def test_partial_tail_emitted(self):
+        windows = feed(SlidingWindowNode(size=5), 12)
+        assert [len(w) for w in windows] == [5, 5, 2]
+
+    def test_partial_tail_suppressed(self):
+        windows = feed(SlidingWindowNode(size=5, emit_partial_tail=False), 12)
+        assert [len(w) for w in windows] == [5, 5]
+
+    def test_windows_cover_stream_in_order(self):
+        windows = feed(SlidingWindowNode(size=4), 10)
+        seen = [c.grid_index for w in windows for c in w.cuts]
+        assert seen == list(range(10))
+
+    def test_fewer_cuts_than_window(self):
+        windows = feed(SlidingWindowNode(size=100), 3)
+        assert len(windows) == 1 and len(windows[0]) == 3
+
+    def test_empty_stream(self):
+        assert feed(SlidingWindowNode(size=5), 0) == []
+
+
+class TestOverlappingWindows:
+    def test_slide_smaller_than_size(self):
+        windows = feed(SlidingWindowNode(size=4, slide=2), 8)
+        starts = [w.cuts[0].grid_index for w in windows]
+        assert starts[:3] == [0, 2, 4]
+        assert all(len(w) == 4 for w in windows[:3])
+
+    def test_overlap_shares_cuts(self):
+        windows = feed(SlidingWindowNode(size=4, slide=2), 6)
+        assert [c.grid_index for c in windows[0].cuts] == [0, 1, 2, 3]
+        assert [c.grid_index for c in windows[1].cuts] == [2, 3, 4, 5]
+
+    @given(st.integers(1, 10), st.integers(1, 10), st.integers(0, 40))
+    @settings(max_examples=60)
+    def test_every_cut_appears(self, size, slide_offset, n):
+        slide = min(size, 1 + slide_offset % size)
+        node = SlidingWindowNode(size=size, slide=slide)
+        windows = feed(node, n)
+        covered = {c.grid_index for w in windows for c in w.cuts}
+        assert covered == set(range(n))
+        # window indices are consecutive
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+
+class TestWindowObject:
+    def test_time_bounds(self):
+        window = Window(0, cuts(4))
+        assert window.start_time == 0.0
+        assert window.end_time == 3.0
+
+    def test_trajectory_matrix(self):
+        data = [Cut(grid_index=g, time=float(g),
+                    values=[(g + 100.0,), (g + 200.0,)]) for g in range(3)]
+        window = Window(0, data)
+        matrix = window.trajectory_matrix(0)
+        assert matrix == [[100.0, 101.0, 102.0], [200.0, 201.0, 202.0]]
+
+
+class TestValidation:
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            SlidingWindowNode(size=0)
+
+    def test_slide_bounds(self):
+        with pytest.raises(ValueError):
+            SlidingWindowNode(size=3, slide=4)
+        with pytest.raises(ValueError):
+            SlidingWindowNode(size=3, slide=0)

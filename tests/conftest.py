@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast model instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cwc import Model, Rule
+from repro.models import (
+    lotka_volterra_network,
+    mm_enzyme_network,
+    neurospora_cwc_model,
+    neurospora_network,
+    toggle_switch_network,
+)
+
+
+@pytest.fixture
+def dimer_model() -> Model:
+    """A two-rule mass-action model with a conservation law
+    (a + 2*d == 100)."""
+    return Model(
+        "dimer", term="100*a",
+        rules=[
+            Rule.flat("bind", "a a", "d", 0.001),
+            Rule.flat("unbind", "d", "a a", 0.1),
+        ],
+        observables=["a", "d"])
+
+
+@pytest.fixture
+def neurospora_small():
+    """The Neurospora network at a small system size (fast SSA)."""
+    return neurospora_network(omega=20)
+
+
+@pytest.fixture
+def neurospora_cwc_small():
+    return neurospora_cwc_model(omega=20)
+
+
+@pytest.fixture
+def lotka_small():
+    return lotka_volterra_network(prey0=100, predator0=100,
+                                  birth=1.0, predation=0.01, death=1.0)
+
+
+@pytest.fixture
+def toggle_small():
+    return toggle_switch_network(omega=10)
+
+
+@pytest.fixture
+def enzyme_small():
+    return mm_enzyme_network(enzyme0=10, substrate0=50)

@@ -1,0 +1,203 @@
+"""The CWC Gillespie engine: exactness, determinism, caching, rewriting."""
+
+import math
+
+import pytest
+
+from repro.cwc import CWCSimulator, Model, Rule, parse_model
+from repro.cwc.multiset import Multiset
+from repro.cwc.rule import CompartmentPattern, CompartmentRHS, Pattern, RHS
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self, dimer_model):
+        first = CWCSimulator(dimer_model, seed=11).run(5.0, 0.5)
+        second = CWCSimulator(dimer_model, seed=11).run(5.0, 0.5)
+        assert first.samples == second.samples
+        assert first.steps == second.steps
+
+    def test_different_seeds_differ(self, dimer_model):
+        first = CWCSimulator(dimer_model, seed=1).run(5.0, 0.5)
+        second = CWCSimulator(dimer_model, seed=2).run(5.0, 0.5)
+        assert first.samples != second.samples
+
+    def test_cache_does_not_change_trajectory(self, dimer_model):
+        cached = CWCSimulator(dimer_model, seed=3).run(10.0, 1.0)
+        uncached = CWCSimulator(dimer_model, seed=3,
+                                cache_propensities=False).run(10.0, 1.0)
+        assert cached.samples == uncached.samples
+
+    def test_cache_correct_on_compartment_model(self, neurospora_cwc_small):
+        """Regression test: a flat rule firing *inside* a compartment
+        changes the propensity of parent-context rules whose compartment
+        patterns read that content (e.g. nuclear transcription produces
+        Mn, which the cell-level export rule matches).  The cache must
+        refresh the parent context too."""
+        cached = CWCSimulator(neurospora_cwc_small, seed=7).run(3.0, 0.5)
+        uncached = CWCSimulator(neurospora_cwc_small, seed=7,
+                                cache_propensities=False).run(3.0, 0.5)
+        assert cached.samples == uncached.samples
+
+
+class TestInvariants:
+    def test_conservation_law(self, dimer_model):
+        result = CWCSimulator(dimer_model, seed=5).run(20.0, 1.0)
+        for a, d in result.samples:
+            assert a + 2 * d == 100
+
+    def test_model_term_not_mutated(self, dimer_model):
+        simulator = CWCSimulator(dimer_model, seed=0)
+        simulator.run(5.0, 1.0)
+        assert dimer_model.term.atoms.count("a") == 100
+
+    def test_time_is_monotone(self, dimer_model):
+        simulator = CWCSimulator(dimer_model, seed=0)
+        last = 0.0
+        for _ in range(50):
+            simulator.step()
+            assert simulator.time >= last
+            last = simulator.time
+
+
+class TestStepping:
+    def test_step_respects_t_max(self, dimer_model):
+        simulator = CWCSimulator(dimer_model, seed=0)
+        fired = simulator.step(t_max=1e-12)
+        assert simulator.time <= 1e-12 or fired
+
+    def test_exhausted_system_stops(self):
+        model = Model("decay", term="3*a",
+                      rules=[Rule.flat("die", "a", "", 10.0)],
+                      observables=["a"])
+        simulator = CWCSimulator(model, seed=1)
+        for _ in range(3):
+            assert simulator.step()
+        assert not simulator.step()  # nothing left to react
+        assert simulator.steps == 3
+
+    def test_exhausted_advance_moves_clock(self):
+        model = Model("decay", term="1*a",
+                      rules=[Rule.flat("die", "a", "", 100.0)],
+                      observables=["a"])
+        simulator = CWCSimulator(model, seed=1)
+        simulator.advance(50.0)
+        assert simulator.time == pytest.approx(50.0)
+
+    def test_advance_equals_run_grid(self, dimer_model):
+        """advance() in small slices visits the same state sequence as
+        run() with the same seed (quantum stepping is exact)."""
+        whole = CWCSimulator(dimer_model, seed=9).run(4.0, 1.0)
+        sliced = CWCSimulator(dimer_model, seed=9)
+        samples = [sliced.observe()]
+        for _ in range(4):
+            sliced.advance(1.0)
+            samples.append(sliced.observe())
+        assert samples == whole.samples
+
+    def test_run_sampling_grid(self, dimer_model):
+        result = CWCSimulator(dimer_model, seed=0).run(3.0, 0.5)
+        assert result.times == [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+        assert result.observable_names == ("a", "d")
+
+    def test_result_column(self, dimer_model):
+        result = CWCSimulator(dimer_model, seed=0).run(2.0, 1.0)
+        assert result.column("a") == [s[0] for s in result.samples]
+        with pytest.raises(ValueError):
+            result.column("nope")
+
+
+class TestCompartmentRewriting:
+    def test_transport_moves_mass(self):
+        model = parse_model("""
+            model transport
+            term: 20*a (m | ):cell
+            rule enter @ 5.0 : a $(m | ):cell => $1(m | a)
+            observable a_top = a in top
+            observable a_cell = a in cell
+        """)
+        simulator = CWCSimulator(model, seed=4)
+        result = simulator.run(100.0, 100.0)
+        a_top, a_cell = result.samples[-1]
+        assert a_top + a_cell == 20
+        assert a_cell == 20  # irreversible: everything ends inside
+
+    def test_compartment_creation(self):
+        model = parse_model("""
+            model budding
+            term: 3*seed
+            rule bud @ 1.0 : seed => (m | cargo):vesicle
+            observable seed = seed
+            observable cargo = cargo in vesicle
+        """)
+        simulator = CWCSimulator(model, seed=2)
+        result = simulator.run(100.0, 100.0)
+        assert result.samples[-1] == (0, 3)
+        assert len(simulator.term.compartments) == 3
+
+    def test_compartment_deletion_unreferenced(self):
+        model = parse_model("""
+            model destroy
+            term: (m | 5*x):cell trigger
+            rule kill @ 1.0 : trigger $( | ):cell =>
+            observable x = x
+        """)
+        simulator = CWCSimulator(model, seed=3)
+        simulator.run(50.0, 50.0)
+        # the matched compartment was consumed, its content lost
+        assert simulator.term.compartments == []
+        assert simulator.observe() == (0,)
+
+    def test_dissolve_preserves_content(self):
+        model = parse_model("""
+            model burst
+            term: (w | 7*x):vesicle trigger
+            rule pop @ 1.0 : trigger $( | ):vesicle => dissolve $1
+            observable x_top = x in top
+            observable w_top = w in top
+        """)
+        simulator = CWCSimulator(model, seed=3)
+        result = simulator.run(50.0, 50.0)
+        assert result.samples[-1] == (7, 1)
+
+    def test_relabel(self):
+        model = parse_model("""
+            model mature
+            term: (m | ):early go
+            rule mature @ 2.0 : go $( | ):early => $1( | ):late
+            observable go = go
+        """)
+        simulator = CWCSimulator(model, seed=1)
+        simulator.run(50.0, 50.0)
+        assert simulator.term.compartments[0].label == "late"
+
+
+class TestFunctionalRates:
+    def test_hill_repression_shuts_down(self):
+        from repro.cwc.rates import HillRepression
+        model = Model(
+            "repress", term="50*r",
+            rules=[Rule("make", "top", Pattern(),
+                        RHS(atoms=Multiset({"p": 1})),
+                        HillRepression(v=10.0, K=1.0, n=4, species="r",
+                                       omega=1.0))],
+            observables=["p", "r"])
+        simulator = CWCSimulator(model, seed=0)
+        simulator.advance(10.0)
+        # with 50 repressors the Hill factor is ~(1/50)^4: ~0 production
+        assert simulator.observe()[0] == 0
+
+    def test_rate_cache_refresh_on_local_change(self):
+        """A functional rate must be re-evaluated after the context
+        changes (regression test for the propensity cache)."""
+        from repro.cwc.rates import Linear
+        model = Model(
+            "autocat", term="1*a",
+            rules=[Rule("grow", "top", Pattern(),
+                        RHS(atoms=Multiset({"a": 1})),
+                        Linear(1.0, "a"))],
+            observables=["a"])
+        simulator = CWCSimulator(model, seed=1)
+        simulator.advance(3.0)
+        # pure birth process with rate n grows fast; with a stale cache
+        # it would grow linearly (rate 1 forever)
+        assert simulator.observe()[0] > 5

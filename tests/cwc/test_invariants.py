@@ -1,0 +1,103 @@
+"""Conservation-law analysis."""
+
+import pytest
+
+from repro.cwc import (
+    FlatSimulator,
+    Reaction,
+    ReactionNetwork,
+    conservation_laws,
+    verify_conservation,
+)
+from repro.cwc.invariants import evaluate_law, stoichiometry_matrix
+from repro.models import (
+    lotka_volterra_network,
+    mm_enzyme_network,
+    neurospora_network,
+)
+
+
+class TestStoichiometryMatrix:
+    def test_shape_and_entries(self):
+        net = ReactionNetwork("iso", {"A": 1}, [
+            Reaction.make("f", "A", "B", 1.0)])
+        matrix, species = stoichiometry_matrix(net)
+        assert species == ("A", "B")
+        assert matrix == [[-1], [1]]
+
+    def test_catalyst_has_zero_net(self):
+        net = ReactionNetwork("cat", {"E": 1, "S": 1}, [
+            Reaction.make("r", "E S", "E P", 1.0)])
+        matrix, species = stoichiometry_matrix(net)
+        e_row = matrix[species.index("E")]
+        assert e_row == [0]
+
+
+class TestConservationLaws:
+    def test_isomerisation(self):
+        net = ReactionNetwork("iso", {"A": 10}, [
+            Reaction.make("f", "A", "B", 1.0),
+            Reaction.make("b", "B", "A", 1.0)])
+        laws = conservation_laws(net)
+        assert {"A": 1, "B": 1} in laws
+
+    def test_dimerisation_weights(self, dimer_model):
+        from repro.cwc import ReactionNetwork as RN
+        net = RN.from_model(dimer_model)
+        laws = conservation_laws(net)
+        assert laws == [{"a": 1, "d": 2}]
+
+    def test_enzyme_two_laws(self):
+        laws = conservation_laws(mm_enzyme_network())
+        assert len(laws) == 2
+        as_sets = [frozenset(law.items()) for law in laws]
+        assert frozenset({"E": 1, "ES": 1}.items()) in as_sets
+
+    def test_open_system_has_no_laws(self):
+        # birth-death: nothing conserved
+        net = ReactionNetwork("bd", {"X": 5}, [
+            Reaction.make("birth", "", "X", 1.0),
+            Reaction.make("death", "X", "", 1.0)])
+        assert conservation_laws(net) == []
+
+    def test_lotka_volterra_has_no_laws(self):
+        assert conservation_laws(lotka_volterra_network()) == []
+
+    def test_neurospora_has_no_laws(self):
+        # open system: transcription and degradation break conservation
+        assert conservation_laws(neurospora_network(omega=10)) == []
+
+    def test_law_value_constant_along_trajectory(self):
+        net = mm_enzyme_network(enzyme0=20, substrate0=100)
+        laws = conservation_laws(net)
+        simulator = FlatSimulator(net, seed=1)
+        names = net.observables
+        initial = {s: simulator.counts[s] for s in names}
+        references = [evaluate_law(law, initial) for law in laws]
+        for _ in range(200):
+            if not simulator.step():
+                break
+            counts = {s: simulator.counts[s] for s in names}
+            for law, reference in zip(laws, references):
+                assert evaluate_law(law, counts) == reference
+
+
+class TestVerifyConservation:
+    def test_accepts_valid_trajectory(self):
+        net = mm_enzyme_network(enzyme0=10, substrate0=50)
+        result = FlatSimulator(net, seed=0).run(10.0, 1.0)
+        assert verify_conservation(net, result.samples)
+
+    def test_rejects_corrupted_trajectory(self):
+        net = mm_enzyme_network(enzyme0=10, substrate0=50)
+        result = FlatSimulator(net, seed=0).run(5.0, 1.0)
+        corrupted = [tuple(v + 1 for v in row) for row in result.samples[:1]] \
+            + result.samples[1:]
+        with pytest.raises(ValueError, match="violated"):
+            verify_conservation(net, corrupted)
+
+    def test_partial_observables_skip_unverifiable_laws(self):
+        net = mm_enzyme_network(enzyme0=10, substrate0=50)
+        # only P observed: no law is fully expressible, nothing to check
+        samples = [(0.0,), (5.0,), (50.0,)]
+        assert verify_conservation(net, samples, observables=("P",))

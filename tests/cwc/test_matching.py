@@ -1,0 +1,124 @@
+"""Tree matching: multiplicities and match selection."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cwc.matching import enumerate_matches, match_multiplicity, select_match
+from repro.cwc.multiset import Multiset
+from repro.cwc.parser import parse_term
+from repro.cwc.rule import CompartmentPattern, Pattern
+
+
+def atoms(text):
+    return Multiset.from_string(text)
+
+
+class TestAtomMultiplicity:
+    def test_empty_pattern_is_one(self):
+        assert match_multiplicity(Pattern(), parse_term("5*a")) == 1
+
+    def test_single_species(self):
+        pattern = Pattern(atoms=atoms("2*a"))
+        assert match_multiplicity(pattern, parse_term("5*a")) == math.comb(5, 2)
+
+    def test_multi_species_product(self):
+        pattern = Pattern(atoms=atoms("a b"))
+        term = parse_term("3*a 4*b")
+        assert match_multiplicity(pattern, term) == 12
+
+    def test_missing_species_is_zero(self):
+        pattern = Pattern(atoms=atoms("c"))
+        assert match_multiplicity(pattern, parse_term("3*a")) == 0
+
+
+class TestCompartmentMultiplicity:
+    def test_single_pattern_counts_children(self):
+        pattern = Pattern(compartments=(
+            CompartmentPattern("cell", atoms(""), atoms("")),))
+        term = parse_term("(m | a):cell (m | b):cell ( | ):other")
+        assert match_multiplicity(pattern, term) == 2
+
+    def test_wrap_and_content_requirements(self):
+        pattern = Pattern(compartments=(
+            CompartmentPattern("cell", atoms("m"), atoms("a")),))
+        term = parse_term("(m m | 3*a):cell")
+        # C(2 wraps, 1) * C(3 contents, 1) = 6
+        assert match_multiplicity(pattern, term) == 6
+
+    def test_two_patterns_injective(self):
+        pattern = Pattern(compartments=(
+            CompartmentPattern("cell", atoms(""), atoms("")),
+            CompartmentPattern("cell", atoms(""), atoms("")),
+        ))
+        term = parse_term("( | ):cell ( | ):cell")
+        # ordered injective assignments of 2 patterns onto 2 children
+        assert match_multiplicity(pattern, term) == 2
+
+    def test_two_patterns_distinct_labels(self):
+        pattern = Pattern(compartments=(
+            CompartmentPattern("cell", atoms(""), atoms("")),
+            CompartmentPattern("nucleus", atoms(""), atoms("")),
+        ))
+        term = parse_term("( | ):cell ( | ):nucleus ( | ):cell")
+        assert match_multiplicity(pattern, term) == 2
+
+    def test_atoms_and_compartments_multiply(self):
+        pattern = Pattern(atoms=atoms("a"), compartments=(
+            CompartmentPattern("cell", atoms(""), atoms("")),))
+        term = parse_term("3*a ( | ):cell ( | ):cell")
+        assert match_multiplicity(pattern, term) == 6
+
+    def test_no_matching_child_is_zero(self):
+        pattern = Pattern(compartments=(
+            CompartmentPattern("vesicle", atoms(""), atoms("")),))
+        assert match_multiplicity(pattern, parse_term("( | ):cell")) == 0
+
+
+class TestEnumerateAndSelect:
+    def test_enumerate_weights_sum_to_multiplicity(self):
+        pattern = Pattern(atoms=atoms("a"), compartments=(
+            CompartmentPattern("cell", atoms("m"), atoms("b")),))
+        term = parse_term("2*a (m | 2*b):cell (m m | b):cell")
+        matches = enumerate_matches(pattern, term)
+        assert sum(m.weight for m in matches) == \
+            match_multiplicity(pattern, term)
+
+    def test_enumerate_children_are_distinct(self):
+        pattern = Pattern(compartments=(
+            CompartmentPattern("cell", atoms(""), atoms("")),
+            CompartmentPattern("cell", atoms(""), atoms("")),
+        ))
+        term = parse_term("( | ):cell ( | ):cell ( | ):cell")
+        for match in enumerate_matches(pattern, term):
+            assert match.children[0] is not match.children[1]
+
+    def test_select_none_when_no_match(self):
+        pattern = Pattern(atoms=atoms("z"))
+        assert select_match(pattern, parse_term("a"), random.Random(0)) is None
+
+    def test_select_respects_weights(self):
+        # one child has weight 4, the other weight 1: selection must hit
+        # the heavy child most of the time
+        pattern = Pattern(compartments=(
+            CompartmentPattern("cell", atoms(""), atoms("b")),))
+        term = parse_term("(m | 4*b):cell (n | b):cell")
+        rng = random.Random(7)
+        heavy = 0
+        for _ in range(300):
+            match = select_match(pattern, term, rng)
+            if match.children[0].wrap.count("m"):
+                heavy += 1
+        assert 0.7 < heavy / 300 < 0.9  # expectation 0.8
+
+    @given(st.integers(0, 5), st.integers(0, 5), st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_multiplicity_matches_enumeration(self, na, nb, need):
+        term = parse_term(f"{na}*a {nb}*b" if na and nb else
+                          (f"{na}*a" if na else (f"{nb}*b" if nb else "")))
+        pattern = Pattern(atoms=Multiset({"a": need} if need else {}))
+        matches = enumerate_matches(pattern, term)
+        total = sum(m.weight for m in matches)
+        assert total == match_multiplicity(pattern, term)

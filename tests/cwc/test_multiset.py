@@ -1,0 +1,150 @@
+"""Multiset semantics, including property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cwc.multiset import Multiset
+
+species = st.sampled_from(list("abcdef"))
+multisets = st.dictionaries(species, st.integers(1, 6), max_size=5)
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        ms = Multiset({"a": 2, "b": 1})
+        assert ms.count("a") == 2 and ms.count("b") == 1
+
+    def test_from_iterable(self):
+        ms = Multiset(["a", "a", "b"])
+        assert ms.count("a") == 2
+
+    def test_from_string(self):
+        ms = Multiset.from_string("2*a b c")
+        assert ms.count("a") == 2 and ms.count("b") == 1
+
+    def test_copy_constructor(self):
+        original = Multiset({"a": 1})
+        copy = Multiset(original)
+        copy.add("a")
+        assert original.count("a") == 1
+
+    def test_zero_counts_never_stored(self):
+        ms = Multiset({"a": 0})
+        assert "a" not in ms
+        assert len(ms) == 0
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset().add("a", -1)
+
+
+class TestMutation:
+    def test_add_remove_roundtrip(self):
+        ms = Multiset()
+        ms.add("x", 3)
+        ms.remove("x", 2)
+        assert ms.count("x") == 1
+        ms.remove("x")
+        assert "x" not in ms
+
+    def test_remove_too_many_raises(self):
+        ms = Multiset({"a": 1})
+        with pytest.raises(ValueError):
+            ms.remove("a", 2)
+
+    def test_remove_all_requires_containment(self):
+        ms = Multiset({"a": 1})
+        with pytest.raises(ValueError):
+            ms.remove_all({"a": 1, "b": 1})
+        # failed remove_all must not corrupt state
+        assert ms.count("a") == 1
+
+    def test_add_all(self):
+        ms = Multiset({"a": 1})
+        ms.add_all({"a": 2, "b": 3})
+        assert ms.count("a") == 3 and ms.count("b") == 3
+
+    def test_clear(self):
+        ms = Multiset({"a": 5})
+        ms.clear()
+        assert ms.is_empty()
+
+
+class TestQueries:
+    def test_contains_submultiset(self):
+        big = Multiset({"a": 3, "b": 1})
+        assert big.contains(Multiset({"a": 2}))
+        assert big.contains(Multiset())
+        assert not big.contains(Multiset({"a": 4}))
+        assert not big.contains(Multiset({"c": 1}))
+
+    def test_combinations_binomials(self):
+        ms = Multiset({"a": 5, "b": 3})
+        need = Multiset({"a": 2, "b": 1})
+        assert ms.combinations(need) == math.comb(5, 2) * math.comb(3, 1)
+
+    def test_combinations_empty_pattern_is_one(self):
+        assert Multiset({"a": 4}).combinations(Multiset()) == 1
+
+    def test_combinations_insufficient_is_zero(self):
+        assert Multiset({"a": 1}).combinations(Multiset({"a": 2})) == 0
+
+    def test_total_and_len(self):
+        ms = Multiset({"a": 2, "b": 3})
+        assert ms.total() == 5
+        assert len(ms) == 2
+
+    def test_iter_with_multiplicity(self):
+        assert sorted(Multiset({"a": 2, "b": 1})) == ["a", "a", "b"]
+
+    def test_str_canonical(self):
+        assert str(Multiset({"b": 1, "a": 2})) == "2*a b"
+        assert str(Multiset()) == "•"
+
+
+class TestOperators:
+    def test_add_operator(self):
+        c = Multiset({"a": 1}) + Multiset({"a": 2, "b": 1})
+        assert c == Multiset({"a": 3, "b": 1})
+
+    def test_sub_operator(self):
+        c = Multiset({"a": 3, "b": 1}) - Multiset({"a": 1, "b": 1})
+        assert c == Multiset({"a": 2})
+
+    def test_equality_ignores_construction_order(self):
+        assert Multiset(["a", "b", "a"]) == Multiset({"b": 1, "a": 2})
+
+    def test_frozen_hashable(self):
+        frozen = Multiset({"a": 2}).frozen()
+        assert hash(frozen) == hash(Multiset({"a": 2}).frozen())
+
+
+class TestProperties:
+    @given(multisets, multisets)
+    @settings(max_examples=60)
+    def test_union_then_difference_roundtrips(self, a, b):
+        ma, mb = Multiset(a), Multiset(b)
+        assert (ma + mb) - mb == ma
+
+    @given(multisets, multisets)
+    @settings(max_examples=60)
+    def test_contains_iff_combinations_positive(self, a, b):
+        ma, mb = Multiset(a), Multiset(b)
+        assert ma.contains(mb) == (ma.combinations(mb) > 0)
+
+    @given(multisets)
+    @settings(max_examples=40)
+    def test_total_is_sum_of_counts(self, a):
+        ms = Multiset(a)
+        assert ms.total() == sum(a.values())
+
+    @given(multisets, multisets)
+    @settings(max_examples=60)
+    def test_combinations_product_of_binomials(self, a, b):
+        ma, mb = Multiset(a), Multiset(b)
+        expected = 1
+        for s, need in b.items():
+            expected *= math.comb(a.get(s, 0), need) if a.get(s, 0) >= need else 0
+        assert ma.combinations(mb) == expected

@@ -1,0 +1,124 @@
+"""Flat reaction networks and the plain-Gillespie baseline engine."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.cwc import (
+    CWCSimulator,
+    FlatSimulator,
+    Model,
+    Reaction,
+    ReactionNetwork,
+    Rule,
+)
+
+
+class TestReaction:
+    def test_make_normalises(self):
+        r = Reaction.make("r", "a a b", {"c": 1}, 1.0)
+        assert r.reactants == (("a", 2), ("b", 1))
+        assert r.products == (("c", 1),)
+
+    def test_mass_action_propensity(self):
+        r = Reaction.make("r", {"a": 2}, {}, 0.5)
+        assert r.propensity({"a": 4}) == 0.5 * math.comb(4, 2)
+
+    def test_propensity_zero_when_insufficient(self):
+        r = Reaction.make("r", {"a": 2}, {}, 0.5)
+        assert r.propensity({"a": 1}) == 0.0
+
+    def test_functional_rate_is_full_propensity(self):
+        r = Reaction.make("r", {"a": 1}, {}, lambda s: 3.25)
+        assert r.propensity({"a": 10}) == 3.25  # no extra h factor
+
+    def test_functional_rate_gated_on_availability(self):
+        r = Reaction.make("r", {"a": 1}, {}, lambda s: 3.25)
+        assert r.propensity({"a": 0}) == 0.0
+
+    def test_apply_updates_counts(self):
+        r = Reaction.make("r", {"a": 1}, {"b": 2}, 1.0)
+        counts = {"a": 3, "b": 0}
+        r.apply(counts)
+        assert counts == {"a": 2, "b": 2}
+
+
+class TestReactionNetwork:
+    def test_species_inferred(self):
+        net = ReactionNetwork("n", {"a": 1},
+                              [Reaction.make("r", "a", "b c", 1.0)])
+        assert net.species == ("a", "b", "c")
+
+    def test_needs_reactions(self):
+        with pytest.raises(ValueError):
+            ReactionNetwork("n", {"a": 1}, [])
+
+    def test_unknown_observable_rejected(self):
+        with pytest.raises(ValueError):
+            ReactionNetwork("n", {"a": 1},
+                            [Reaction.make("r", "a", "", 1.0)],
+                            observables=("zz",))
+
+    def test_from_model_flat(self, dimer_model):
+        net = ReactionNetwork.from_model(dimer_model)
+        assert net.initial == {"a": 100}
+        assert len(net.reactions) == 2
+
+    def test_from_model_rejects_compartments(self, neurospora_cwc_small):
+        with pytest.raises(ValueError):
+            ReactionNetwork.from_model(neurospora_cwc_small)
+
+
+class TestFlatSimulator:
+    def test_deterministic(self, neurospora_small):
+        a = FlatSimulator(neurospora_small, seed=7).run(5.0, 1.0)
+        b = FlatSimulator(neurospora_small, seed=7).run(5.0, 1.0)
+        assert a.samples == b.samples
+
+    def test_conservation(self, dimer_model):
+        net = ReactionNetwork.from_model(dimer_model)
+        result = FlatSimulator(net, seed=3).run(20.0, 2.0)
+        for a, d in result.samples:
+            assert a + 2 * d == 100
+
+    def test_advance_and_run_agree(self, neurospora_small):
+        whole = FlatSimulator(neurospora_small, seed=5).run(4.0, 1.0)
+        sliced = FlatSimulator(neurospora_small, seed=5)
+        samples = [sliced.observe()]
+        for _ in range(4):
+            sliced.advance(1.0)
+            samples.append(sliced.observe())
+        assert samples == whole.samples
+
+    def test_counts_never_negative(self, lotka_small):
+        simulator = FlatSimulator(lotka_small, seed=0)
+        for _ in range(2000):
+            if not simulator.step():
+                break
+            assert all(v >= 0 for v in simulator.counts.values())
+
+    def test_extinction_halts(self):
+        net = ReactionNetwork("death", {"a": 5},
+                              [Reaction.make("r", "a", "", 5.0)])
+        simulator = FlatSimulator(net, seed=1)
+        simulator.advance(100.0)
+        assert simulator.counts["a"] == 0
+        assert simulator.steps == 5
+        assert not simulator.step()
+
+
+class TestEngineAgreement:
+    def test_flat_and_cwc_agree_on_means(self, dimer_model):
+        """Both engines must sample the same stochastic process: compare
+        the mean equilibrium dimer count across seeds."""
+        net = ReactionNetwork.from_model(dimer_model)
+        flat = [FlatSimulator(net, seed=s).run(30.0, 30.0).samples[-1][1]
+                for s in range(25)]
+        cwc = [CWCSimulator(dimer_model, seed=1000 + s).run(
+            30.0, 30.0).samples[-1][1] for s in range(25)]
+        mean_flat = statistics.mean(flat)
+        mean_cwc = statistics.mean(cwc)
+        spread = (statistics.stdev(flat) + statistics.stdev(cwc)) / 2 + 1e-9
+        # means within 3 pooled standard errors
+        assert abs(mean_flat - mean_cwc) < 3 * spread / math.sqrt(25) * 2

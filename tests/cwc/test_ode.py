@@ -1,0 +1,76 @@
+"""Deterministic ODE baseline."""
+
+import pytest
+
+from repro.cwc import ReactionNetwork, Reaction, integrate_ode
+from repro.models import neurospora_network
+
+
+class TestRK4:
+    def test_pure_decay_matches_exponential(self):
+        import math
+        net = ReactionNetwork("decay", {"a": 1000},
+                              [Reaction.make("r", "a", "", 0.5)])
+        result = integrate_ode(net, t_end=4.0, sample_every=1.0)
+        for t, (a,) in zip(result.times, result.values):
+            assert a == pytest.approx(1000 * math.exp(-0.5 * t), rel=1e-5)
+
+    def test_conservation(self):
+        net = ReactionNetwork("iso", {"a": 100},
+                              [Reaction.make("f", "a", "b", 1.0),
+                               Reaction.make("b", "b", "a", 2.0)])
+        result = integrate_ode(net, t_end=5.0, sample_every=0.5)
+        for a, b in result.values:
+            assert a + b == pytest.approx(100, rel=1e-9)
+
+    def test_equilibrium_ratio(self):
+        net = ReactionNetwork("iso", {"a": 90}, [
+            Reaction.make("f", "a", "b", 1.0),
+            Reaction.make("b", "b", "a", 2.0)])
+        result = integrate_ode(net, t_end=30.0, sample_every=30.0)
+        a, b = result.values[-1]
+        assert b / a == pytest.approx(0.5, rel=1e-4)
+
+    def test_column_accessor(self):
+        net = ReactionNetwork("decay", {"a": 10},
+                              [Reaction.make("r", "a", "", 1.0)])
+        result = integrate_ode(net, 1.0, 0.5)
+        assert result.column("a") == [v[0] for v in result.values]
+
+    def test_unknown_method(self):
+        net = ReactionNetwork("decay", {"a": 10},
+                              [Reaction.make("r", "a", "", 1.0)])
+        with pytest.raises(ValueError):
+            integrate_ode(net, 1.0, 0.5, method="euler")
+
+    def test_initial_override(self):
+        net = ReactionNetwork("decay", {"a": 10},
+                              [Reaction.make("r", "a", "", 1.0)])
+        result = integrate_ode(net, 1.0, 1.0, initial=[500.0])
+        assert result.values[0] == (500.0,)
+
+
+class TestNeurospora:
+    def test_period_is_21_5_hours(self):
+        """The headline check: the published deterministic model
+        oscillates with a 21.5 h period."""
+        net = neurospora_network(omega=100)
+        result = integrate_ode(net, t_end=180.0, sample_every=0.25)
+        m = result.column("M")
+        # peaks after the transient
+        peaks = [result.times[i] for i in range(160, len(m) - 1)
+                 if m[i - 1] < m[i] >= m[i + 1] and m[i] > 100]
+        periods = [b - a for a, b in zip(peaks, peaks[1:])]
+        assert len(periods) >= 3
+        for period in periods:
+            assert period == pytest.approx(21.5, abs=0.3)
+
+    def test_scipy_agrees_with_rk4(self):
+        pytest.importorskip("scipy")
+        net = neurospora_network(omega=50)
+        rk4 = integrate_ode(net, t_end=20.0, sample_every=5.0)
+        rk45 = integrate_ode(net, t_end=20.0, sample_every=5.0,
+                             method="rk45")
+        for ours, theirs in zip(rk4.values, rk45.values):
+            for x, y in zip(ours, theirs):
+                assert x == pytest.approx(y, rel=2e-3, abs=1e-6)

@@ -1,0 +1,166 @@
+"""The model DSL parser."""
+
+import pytest
+
+from repro.cwc.parser import ParseError, parse_model, parse_term
+from repro.cwc.rates import HillRepression, MichaelisMenten
+from repro.cwc.term import TOP
+
+
+class TestParseTerm:
+    def test_atoms(self):
+        term = parse_term("a 3*b")
+        assert term.atoms.count("a") == 1
+        assert term.atoms.count("b") == 3
+
+    def test_compartment(self):
+        term = parse_term("(m | a a):cell")
+        comp = term.compartments[0]
+        assert comp.label == "cell"
+        assert comp.wrap.count("m") == 1
+        assert comp.content.atoms.count("a") == 2
+
+    def test_nested(self):
+        term = parse_term("(m | (n | x):inner):outer")
+        inner = term.compartments[0].content.compartments[0]
+        assert inner.label == "inner"
+        assert inner.content.atoms.count("x") == 1
+
+    def test_empty_term(self):
+        term = parse_term("")
+        assert term.atoms.is_empty() and not term.compartments
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("a )")
+
+    def test_compartment_needs_label(self):
+        with pytest.raises(ParseError):
+            parse_term("(m | a)")
+
+
+MODEL = """
+# a comment line
+model demo
+
+param k = 0.25
+param v = 2.0
+
+term: 10*a (m | b):cell
+
+rule bind @ k : a a => d                 # inline comment
+rule enter @ 0.5 : a $(m | ):cell => $1(m | a)
+rule grow @ mm(v, 0.5, a, 1.0) in cell : a => a a
+rule burst @ 1.0 : $(m | b):cell => dissolve $1
+rule make @ hill_rep(v, 1.0, 4, d, 1.0) : => a
+
+observable dimers = d
+observable a_in = a in cell
+"""
+
+
+class TestParseModel:
+    def test_full_model(self):
+        model = parse_model(MODEL)
+        assert model.name == "demo"
+        assert len(model.rules) == 5
+        assert model.observable_names == ("dimers", "a_in")
+        assert model.term.atoms.count("a") == 10
+
+    def test_param_substitution(self):
+        model = parse_model(MODEL)
+        bind = next(r for r in model.rules if r.name == "bind")
+        assert bind.rate == 0.25
+
+    def test_rule_context(self):
+        model = parse_model(MODEL)
+        grow = next(r for r in model.rules if r.name == "grow")
+        assert grow.context == "cell"
+        bind = next(r for r in model.rules if r.name == "bind")
+        assert bind.context == TOP
+
+    def test_rate_laws_constructed(self):
+        model = parse_model(MODEL)
+        grow = next(r for r in model.rules if r.name == "grow")
+        assert isinstance(grow.rate, MichaelisMenten)
+        assert grow.rate.species == "a"
+        make = next(r for r in model.rules if r.name == "make")
+        assert isinstance(make.rate, HillRepression)
+        assert make.rate.v == 2.0  # param reference resolved
+
+    def test_compartment_pattern_and_rhs(self):
+        model = parse_model(MODEL)
+        enter = next(r for r in model.rules if r.name == "enter")
+        assert len(enter.lhs.compartments) == 1
+        assert enter.lhs.compartments[0].label == "cell"
+        rhs = enter.rhs.compartments[0]
+        assert rhs.from_match == 0
+        assert rhs.add_wrap.count("m") == 1
+        assert rhs.add_content.count("a") == 1
+
+    def test_dissolve_parsed(self):
+        model = parse_model(MODEL)
+        burst = next(r for r in model.rules if r.name == "burst")
+        assert burst.rhs.compartments[0].dissolve
+
+    def test_empty_lhs_rule(self):
+        model = parse_model(MODEL)
+        make = next(r for r in model.rules if r.name == "make")
+        assert make.lhs.is_empty()
+
+
+class TestParseErrors:
+    def test_missing_model_name(self):
+        with pytest.raises(ParseError):
+            parse_model("term: a\nrule r @ 1.0 : a => b")
+
+    def test_missing_term(self):
+        with pytest.raises(ParseError, match="term"):
+            parse_model("model m\nrule r @ 1.0 : a => b")
+
+    def test_missing_rules(self):
+        with pytest.raises(ParseError, match="rules"):
+            parse_model("model m\nterm: a")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError, match="unknown directive"):
+            parse_model("model m\nfrobnicate yes")
+
+    def test_unknown_param(self):
+        with pytest.raises(ParseError, match="unknown parameter"):
+            parse_model("model m\nterm: a\nrule r @ kk : a => b")
+
+    def test_unknown_rate_law(self):
+        with pytest.raises(ParseError, match="unknown rate law"):
+            parse_model("model m\nterm: a\nrule r @ foo(1) : a => b")
+
+    def test_rate_law_arity(self):
+        with pytest.raises(ParseError, match="arguments"):
+            parse_model("model m\nterm: a\nrule r @ mm(1.0) : a => b")
+
+    def test_bad_match_reference(self):
+        with pytest.raises(ParseError, match=r"\$2"):
+            parse_model("model m\nterm: a\n"
+                        "rule r @ 1.0 : $( | ):c => $2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_model("model m\nterm: a\nrule broken @@ : a => b")
+
+    def test_rule_missing_colon(self):
+        with pytest.raises(ParseError, match="':'"):
+            parse_model("model m\nterm: a\nrule r @ 1.0 a => b")
+
+    def test_bad_observable(self):
+        with pytest.raises(ParseError, match="observable"):
+            parse_model("model m\nterm: a\nrule r @ 1 : a => b\n"
+                        "observable == broken")
+
+
+class TestSemantics:
+    def test_parsed_model_runs(self):
+        from repro.cwc import CWCSimulator
+        model = parse_model(MODEL)
+        simulator = CWCSimulator(model, seed=0)
+        simulator.advance(1.0)
+        assert simulator.steps > 0

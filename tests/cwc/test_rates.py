@@ -1,0 +1,75 @@
+"""Rate-law objects: formulas and picklability."""
+
+import pickle
+
+import pytest
+
+from repro.cwc.multiset import Multiset
+from repro.cwc.rates import (
+    Constant,
+    HillActivation,
+    HillRepression,
+    Linear,
+    MichaelisMenten,
+    Product,
+)
+from repro.cwc.rule import ContextView
+from repro.cwc.term import Term
+
+
+def view(**counts):
+    return ContextView(Term(Multiset(counts)))
+
+
+class TestFormulas:
+    def test_constant(self):
+        assert Constant(4.2)(view()) == 4.2
+
+    def test_linear(self):
+        assert Linear(0.5, "a")(view(a=6)) == 3.0
+
+    def test_hill_repression_limits(self):
+        law = HillRepression(v=2.0, K=1.0, n=4, species="r", omega=10.0)
+        assert law(view()) == pytest.approx(20.0)           # no repressor
+        assert law(view(r=1000)) == pytest.approx(0.0, abs=1e-4)
+
+    def test_hill_repression_half_point(self):
+        law = HillRepression(v=2.0, K=1.0, n=4, species="r", omega=10.0)
+        assert law(view(r=10)) == pytest.approx(10.0)  # x == K -> v/2
+
+    def test_hill_activation_half_point(self):
+        law = HillActivation(v=2.0, K=1.0, n=2, species="x", omega=5.0)
+        assert law(view(x=5)) == pytest.approx(5.0)
+
+    def test_hill_activation_zero_at_zero(self):
+        law = HillActivation(v=2.0, K=1.0, n=2, species="x", omega=5.0)
+        assert law(view()) == 0.0
+
+    def test_michaelis_menten_saturates(self):
+        law = MichaelisMenten(v=3.0, K=0.5, species="s", omega=10.0)
+        assert law(view(s=5)) == pytest.approx(10.0 * 3.0 * 0.5 / 1.0)
+        assert law(view(s=100000)) == pytest.approx(30.0, rel=1e-3)
+
+    def test_product(self):
+        law = Product(Constant(2.0), Linear(1.0, "a"))
+        assert law(view(a=3)) == 6.0
+
+    def test_product_with_scalar(self):
+        law = Product(5.0, Linear(1.0, "a"))
+        assert law(view(a=2)) == 10.0
+
+
+class TestPicklability:
+    @pytest.mark.parametrize("law", [
+        Constant(1.0),
+        Linear(0.5, "a"),
+        HillRepression(1.6, 1.0, 4, "FN", 100.0),
+        HillActivation(1.0, 1.0, 2, "x", 10.0),
+        MichaelisMenten(0.5, 0.13, "FC", 100.0),
+        Product(Constant(2.0), Linear(1.0, "a")),
+    ])
+    def test_roundtrip(self, law):
+        clone = pickle.loads(pickle.dumps(law))
+        assert clone == law
+        assert clone(view(a=3, x=3, FN=3, FC=3)) == \
+            law(view(a=3, x=3, FN=3, FC=3))

@@ -1,0 +1,100 @@
+"""Property-based write -> parse round trips over random models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cwc import CWCSimulator, Model, parse_model
+from repro.cwc.multiset import Multiset
+from repro.cwc.rule import CompartmentPattern, CompartmentRHS, Pattern, RHS, Rule
+from repro.cwc.term import Compartment, Term
+from repro.cwc.writer import write_model
+
+species = st.sampled_from(["a", "b", "c", "d"])
+atoms = st.dictionaries(species, st.integers(1, 5), max_size=3).map(Multiset)
+labels = st.sampled_from(["cell", "nucleus", "vesicle"])
+rates = st.floats(min_value=0.001, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def terms(draw, depth=2):
+    atoms_ms = draw(atoms)
+    compartments = []
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 2))):
+            label = draw(labels)
+            wrap = draw(atoms)
+            content = draw(terms(depth=depth - 1))
+            compartments.append(Compartment(label, wrap, content))
+    return Term(atoms_ms, compartments)
+
+
+@st.composite
+def flat_rules(draw, index):
+    lhs = draw(atoms)
+    rhs = draw(atoms)
+    return Rule(f"r{index}", draw(st.sampled_from(["top", "cell"])),
+                Pattern(atoms=lhs), RHS(atoms=rhs), draw(rates))
+
+
+@st.composite
+def compartment_rules(draw, index):
+    label = draw(labels)
+    pattern = CompartmentPattern(label, draw(atoms), draw(atoms))
+    kind = draw(st.sampled_from(["keep", "extend", "dissolve", "new"]))
+    if kind == "keep":
+        rhs = RHS(compartments=(CompartmentRHS(from_match=0),))
+    elif kind == "extend":
+        rhs = RHS(atoms=draw(atoms), compartments=(
+            CompartmentRHS(from_match=0, add_wrap=draw(atoms),
+                           add_content=draw(atoms)),))
+    elif kind == "dissolve":
+        rhs = RHS(compartments=(
+            CompartmentRHS(from_match=0, dissolve=True),))
+    else:
+        rhs = RHS(compartments=(
+            CompartmentRHS(from_match=None, label=draw(labels),
+                           add_wrap=draw(atoms),
+                           add_content=draw(atoms)),))
+    return Rule(f"c{index}", "top",
+                Pattern(atoms=draw(atoms), compartments=(pattern,)),
+                rhs, draw(rates))
+
+
+@st.composite
+def models(draw):
+    term = draw(terms())
+    rules = [draw(flat_rules(i)) for i in range(draw(st.integers(1, 3)))]
+    if draw(st.booleans()):
+        rules.append(draw(compartment_rules(len(rules))))
+    return Model("random-model", term, rules)
+
+
+class TestRoundtripProperty:
+    @given(models())
+    @settings(max_examples=40, deadline=None)
+    def test_write_parse_preserves_structure(self, model):
+        reparsed = parse_model(write_model(model))
+        assert reparsed.term == model.term
+        assert len(reparsed.rules) == len(model.rules)
+        for original, parsed in zip(model.rules, reparsed.rules):
+            assert parsed.name == original.name
+            assert parsed.context == original.context
+            assert parsed.lhs == original.lhs
+            assert parsed.rhs == original.rhs
+            assert parsed.rate == pytest.approx(original.rate)
+
+    @given(models(), st.integers(0, 2 ** 16))
+    @settings(max_examples=15, deadline=None)
+    def test_write_parse_preserves_dynamics(self, model, seed):
+        reparsed = parse_model(write_model(model))
+        a = CWCSimulator(model, seed=seed)
+        b = CWCSimulator(reparsed, seed=seed)
+        for _ in range(20):
+            fired_a = a.step(t_max=100.0)
+            fired_b = b.step(t_max=100.0)
+            assert fired_a == fired_b
+            assert a.time == pytest.approx(b.time)
+            if not fired_a:
+                break
+        assert a.observe() == b.observe()

@@ -1,0 +1,90 @@
+"""Rule construction and validation."""
+
+import pytest
+
+from repro.cwc.multiset import Multiset
+from repro.cwc.rule import (
+    CompartmentPattern,
+    CompartmentRHS,
+    ContextView,
+    Pattern,
+    RHS,
+    Rule,
+)
+from repro.cwc.term import TOP, Term
+
+
+class TestRuleConstruction:
+    def test_flat_constructor(self):
+        rule = Rule.flat("bind", "a b", "c", 0.5)
+        assert rule.context == TOP
+        assert rule.lhs.atoms == Multiset.from_string("a b")
+        assert rule.rhs.atoms == Multiset.from_string("c")
+        assert rule.rate == 0.5
+
+    def test_flat_in_context(self):
+        rule = Rule.flat("r", "a", "b", 1.0, context="cell")
+        assert rule.context == "cell"
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Rule.flat("r", "a", "b", -1.0)
+
+    def test_rhs_reference_out_of_range(self):
+        with pytest.raises(ValueError):
+            Rule("r", TOP, Pattern(),
+                 RHS(compartments=(CompartmentRHS(from_match=0),)), 1.0)
+
+    def test_rhs_double_reference_rejected(self):
+        lhs = Pattern(compartments=(
+            CompartmentPattern("c", Multiset(), Multiset()),))
+        with pytest.raises(ValueError):
+            Rule("r", TOP, lhs,
+                 RHS(compartments=(CompartmentRHS(from_match=0),
+                                   CompartmentRHS(from_match=0))), 1.0)
+
+
+class TestCompartmentRHSValidation:
+    def test_new_compartment_needs_label(self):
+        with pytest.raises(ValueError):
+            CompartmentRHS(from_match=None)
+
+    def test_dissolve_requires_match(self):
+        with pytest.raises(ValueError):
+            CompartmentRHS(from_match=None, label="x", dissolve=True)
+
+    def test_dissolve_delete_exclusive(self):
+        with pytest.raises(ValueError):
+            CompartmentRHS(from_match=0, dissolve=True, delete=True)
+
+
+class TestRates:
+    def test_constant_rate_propensity_factor(self):
+        rule = Rule.flat("r", "a", "b", 2.5)
+        view = ContextView(Term(Multiset({"a": 3})))
+        assert rule.propensity_factor(view) == 2.5
+
+    def test_callable_rate(self):
+        rule = Rule.flat("r", "a", "b", lambda ctx: 0.1 * ctx.count("a"))
+        view = ContextView(Term(Multiset({"a": 4})))
+        assert rule.propensity_factor(view) == pytest.approx(0.4)
+
+    def test_callable_rate_negative_result_rejected(self):
+        rule = Rule.flat("r", "a", "b", lambda ctx: -1.0)
+        view = ContextView(Term(Multiset({"a": 1})))
+        with pytest.raises(ValueError):
+            rule.propensity_factor(view)
+
+
+class TestContextView:
+    def test_count_and_getitem(self):
+        view = ContextView(Term(Multiset({"a": 7})))
+        assert view.count("a") == 7
+        assert view["a"] == 7
+        assert view["zz"] == 0
+
+    def test_label_and_compartments(self):
+        term = Term()
+        view = ContextView(term)
+        assert view.label == TOP
+        assert view.n_compartments() == 0

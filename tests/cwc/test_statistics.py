@@ -1,0 +1,126 @@
+"""Statistical exactness of the SSA engines against analytical results.
+
+These are the strongest correctness tests in the suite: for processes
+with known closed-form distributions, the empirical statistics across
+independent trajectories must match theory within sampling error.
+"""
+
+import math
+import statistics
+
+import pytest
+
+from repro.cwc import (
+    CWCSimulator,
+    FirstReactionSimulator,
+    FlatSimulator,
+    Model,
+    Reaction,
+    ReactionNetwork,
+    Rule,
+)
+from repro.cwc.rates import Constant
+
+
+def immigration_death(birth=20.0, death=1.0):
+    """M/M/inf: stationary distribution is Poisson(birth/death)."""
+    return ReactionNetwork("immigration-death", {"X": 0}, [
+        Reaction.make("in", "", "X", Constant(birth)),
+        Reaction.make("out", "X", "", death),
+    ])
+
+
+class TestPoissonStationarity:
+    """At stationarity of 0 -> X -> 0, X ~ Poisson(lambda/mu):
+    mean == variance == lambda/mu."""
+
+    N_SEEDS = 120
+    EXPECTED = 20.0
+
+    def _final_counts(self, simulator_factory):
+        out = []
+        for seed in range(self.N_SEEDS):
+            simulator = simulator_factory(seed)
+            simulator.advance(12.0)  # >> relaxation time (1/mu)
+            out.append(simulator.counts["X"])
+        return out
+
+    def _check(self, values):
+        mean = statistics.mean(values)
+        variance = statistics.variance(values)
+        # mean of Poisson(20) over 120 samples: SE = sqrt(20/120) ~ 0.41
+        assert mean == pytest.approx(self.EXPECTED, abs=3.5 * 0.41)
+        # variance ~ mean for a Poisson (Fano factor 1)
+        assert variance / mean == pytest.approx(1.0, abs=0.45)
+
+    def test_direct_method(self):
+        net = immigration_death()
+        self._check(self._final_counts(
+            lambda seed: FlatSimulator(net, seed=seed)))
+
+    def test_first_reaction_method(self):
+        net = immigration_death()
+        self._check(self._final_counts(
+            lambda seed: FirstReactionSimulator(net, seed=1000 + seed)))
+
+
+class TestExponentialWaitingTimes:
+    def test_first_event_time_is_exponential(self):
+        """For 0 -> X at rate lambda, the first event time ~ Exp(lambda):
+        check mean and the memorylessness quantile (median = ln2 / k)."""
+        rate = 4.0
+        net = ReactionNetwork("birth", {"X": 0}, [
+            Reaction.make("in", "", "X", Constant(rate))])
+        times = []
+        for seed in range(300):
+            simulator = FlatSimulator(net, seed=seed)
+            simulator.step()
+            times.append(simulator.time)
+        mean = statistics.mean(times)
+        assert mean == pytest.approx(1.0 / rate, rel=0.2)
+        median = statistics.median(times)
+        assert median == pytest.approx(math.log(2) / rate, rel=0.25)
+
+
+class TestLinearDecayMoments:
+    def test_pure_death_is_binomial_thinning(self):
+        """X(0)=n0 decaying at rate k: X(t) ~ Binomial(n0, e^-kt)."""
+        n0, k, t = 200, 1.0, 0.7
+        survival = math.exp(-k * t)
+        net = ReactionNetwork("decay", {"X": n0}, [
+            Reaction.make("d", "X", "", k)])
+        finals = []
+        for seed in range(150):
+            simulator = FlatSimulator(net, seed=seed)
+            simulator.advance(t)
+            finals.append(simulator.counts["X"])
+        mean = statistics.mean(finals)
+        variance = statistics.variance(finals)
+        expected_mean = n0 * survival
+        expected_var = n0 * survival * (1 - survival)
+        assert mean == pytest.approx(expected_mean, rel=0.05)
+        assert variance == pytest.approx(expected_var, rel=0.40)
+
+
+class TestCWCEngineStatistics:
+    def test_cwc_engine_poisson_stationarity(self):
+        """The tree engine must sample the same stationary law."""
+        from repro.cwc.multiset import Multiset
+        from repro.cwc.rule import Pattern, RHS
+        model = Model("imm-death", term="",
+                      rules=[
+                          Rule("in", "top", Pattern(),
+                               RHS(atoms=Multiset({"X": 1})),
+                               Constant(20.0)),
+                          Rule.flat("out", "X", "", 1.0),
+                      ],
+                      observables=["X"])
+        finals = []
+        for seed in range(80):
+            simulator = CWCSimulator(model, seed=seed)
+            simulator.advance(12.0)
+            finals.append(simulator.observe()[0])
+        mean = statistics.mean(finals)
+        assert mean == pytest.approx(20.0, abs=2.0)
+        assert statistics.variance(finals) / mean == pytest.approx(
+            1.0, abs=0.5)

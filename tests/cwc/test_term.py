@@ -1,0 +1,113 @@
+"""Term tree semantics."""
+
+import pytest
+
+from repro.cwc.multiset import Multiset
+from repro.cwc.term import TOP, Compartment, Term
+from repro.cwc.parser import parse_term
+
+
+def cell(content_atoms="", wrap="m", label="cell"):
+    return Compartment(label, Multiset.from_string(wrap),
+                       Term(Multiset.from_string(content_atoms)))
+
+
+class TestStructure:
+    def test_top_label(self):
+        assert Term().label() == TOP
+
+    def test_compartment_content_label(self):
+        comp = cell()
+        assert comp.content.label() == "cell"
+
+    def test_add_remove_compartment(self):
+        term = Term()
+        comp = term.add_compartment(cell())
+        assert comp.parent is term
+        term.remove_compartment(comp)
+        assert term.compartments == []
+        assert comp.parent is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError):
+            Term().remove_compartment(cell())
+
+    def test_remove_is_identity_based(self):
+        term = Term()
+        first, second = cell("a"), cell("a")
+        term.add_compartment(first)
+        term.add_compartment(second)
+        term.remove_compartment(second)
+        assert term.compartments == [first]
+
+    def test_walk_terms_depth_first(self):
+        term = parse_term("a (m | b (n | c):inner):outer")
+        labels = [t.label() for t in term.walk_terms()]
+        assert labels == [TOP, "outer", "inner"]
+
+    def test_walk_compartments(self):
+        term = parse_term("(m | (n | ):inner):outer ( | ):solo")
+        labels = [c.label for c in term.walk_compartments()]
+        assert labels == ["outer", "inner", "solo"]
+
+    def test_depth(self):
+        assert Term().depth() == 0
+        assert parse_term("(m | a):cell").depth() == 1
+        assert parse_term("(m | (n | ):inner):outer").depth() == 2
+
+    def test_size_counts_wraps(self):
+        term = parse_term("a a (m m | b):cell")
+        assert term.size() == 5
+
+
+class TestCounting:
+    def test_local_count(self):
+        term = parse_term("2*a (m | 3*a):cell")
+        assert term.count("a") == 2
+
+    def test_recursive_count_includes_wraps(self):
+        term = parse_term("a (a | a):cell")
+        assert term.count("a", recursive=True) == 3
+
+    def test_count_by_label(self):
+        term = parse_term("a (m | 2*a (n | 5*a):nucleus):cell")
+        assert term.count("a", recursive=True, label="cell") == 2
+        assert term.count("a", recursive=True, label="nucleus") == 5
+        assert term.count("a", recursive=True, label=TOP) == 1
+
+
+class TestDissolve:
+    def test_dissolve_releases_everything(self):
+        term = parse_term("(m | 2*a (n | b):inner):outer")
+        outer = term.compartments[0]
+        term.dissolve_compartment(outer)
+        assert term.atoms.count("m") == 1  # wrap released
+        assert term.atoms.count("a") == 2  # content atoms released
+        assert len(term.compartments) == 1  # inner promoted
+        assert term.compartments[0].label == "inner"
+
+
+class TestEqualityAndCopy:
+    def test_equality_ignores_compartment_order(self):
+        first = parse_term("(m | a):x (n | b):y")
+        second = parse_term("(n | b):y (m | a):x")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_equality_counts_duplicate_compartments(self):
+        one = parse_term("(m | a):x")
+        two = parse_term("(m | a):x (m | a):x")
+        assert one != two
+
+    def test_copy_is_deep(self):
+        term = parse_term("a (m | b):cell")
+        clone = term.copy()
+        clone.atoms.add("a")
+        clone.compartments[0].content.atoms.add("b")
+        assert term.count("a") == 1
+        assert term.compartments[0].content.count("b") == 1
+        assert term != clone
+
+    def test_copy_preserves_equality(self):
+        term = parse_term("2*a (m | b (n | c):i):o")
+        assert term.copy() == term

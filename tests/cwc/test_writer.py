@@ -1,0 +1,68 @@
+"""Model serialisation: write -> parse round trips."""
+
+import pytest
+
+from repro.cwc import CWCSimulator, Model, Rule, parse_model, parse_term
+from repro.cwc.writer import write_model, write_term
+from repro.models import neurospora_cwc_model
+
+
+class TestWriteTerm:
+    def test_atoms(self):
+        assert write_term(parse_term("2*a b")) == "2*a b"
+
+    def test_compartment(self):
+        text = "(m | 2*a):cell"
+        assert write_term(parse_term(text)) == text
+
+    def test_nested_roundtrip(self):
+        term = parse_term("x (m | a (n | 3*b):inner):outer")
+        assert parse_term(write_term(term)) == term
+
+
+class TestWriteModel:
+    MODEL = """
+model demo
+term: 10*a (m | b):cell
+rule bind @ 0.25 : a a => d
+rule enter @ 0.5 : a $(m | ):cell => $1(m | a)
+rule grow @ mm(2.0, 0.5, a, 1.0) in cell : a => a a
+rule burst @ 1.0 : $(m | b):cell => dissolve $1
+rule make @ hill_rep(2.0, 1.0, 4.0, d, 1.0) : => a
+observable dimers = d
+observable a_in = a in cell
+"""
+
+    def test_roundtrip_equivalence(self):
+        original = parse_model(self.MODEL)
+        reparsed = parse_model(write_model(original))
+        assert reparsed.name == original.name
+        assert reparsed.term == original.term
+        assert reparsed.observable_names == original.observable_names
+        assert len(reparsed.rules) == len(original.rules)
+        for a, b in zip(original.rules, reparsed.rules):
+            assert a.name == b.name
+            assert a.context == b.context
+            assert a.lhs == b.lhs
+            assert a.rhs == b.rhs
+            assert a.rate == b.rate
+
+    def test_roundtrip_simulates_identically(self):
+        original = parse_model(self.MODEL)
+        reparsed = parse_model(write_model(original))
+        a = CWCSimulator(original, seed=3).run(5.0, 1.0)
+        b = CWCSimulator(reparsed, seed=3).run(5.0, 1.0)
+        assert a.samples == b.samples
+
+    def test_neurospora_cwc_roundtrips(self):
+        model = neurospora_cwc_model(omega=20)
+        reparsed = parse_model(write_model(model))
+        a = CWCSimulator(model, seed=1).run(2.0, 1.0)
+        b = CWCSimulator(reparsed, seed=1).run(2.0, 1.0)
+        assert a.samples == b.samples
+
+    def test_arbitrary_callable_rejected(self):
+        model = Model("bad", term="a",
+                      rules=[Rule.flat("r", "a", "b", lambda ctx: 1.0)])
+        with pytest.raises(ValueError, match="textual form"):
+            write_model(model)

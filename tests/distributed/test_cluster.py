@@ -1,0 +1,81 @@
+"""The virtual cluster: distributed == shared-memory, traffic measured."""
+
+import pytest
+
+from repro.distributed import DistributedWorkflow, NetworkLink, VirtualHost
+from repro.perfsim.platform import EC2_NETWORK, INFINIBAND_IPOIB
+from repro.pipeline import WorkflowConfig, run_workflow
+
+
+def config(**overrides):
+    base = dict(n_simulations=6, t_end=6.0, sample_every=0.5, quantum=2.0,
+                n_sim_workers=3, n_stat_workers=1, window_size=5, seed=0)
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+class TestNetworkLink:
+    def test_roundtrip_preserves_object(self):
+        link = NetworkLink("test")
+        assert link.roundtrip({"a": (1, 2)}) == {"a": (1, 2)}
+
+    def test_meter_accumulates(self):
+        link = NetworkLink("test", spec=INFINIBAND_IPOIB)
+        link.send([1, 2, 3])
+        link.send("x")
+        assert link.meter.messages == 2
+        assert link.meter.bytes > 0
+        assert link.meter.modeled_time > 2 * INFINIBAND_IPOIB.latency * 0.99
+        assert link.meter.mean_size() == link.meter.bytes / 2
+
+
+class TestDistributedWorkflow:
+    def test_results_identical_to_shared_memory(self, neurospora_small):
+        """Serialisation boundaries must not change a single number: the
+        distributed run reproduces the shared-memory run exactly."""
+        cfg = config()
+        local = run_workflow(neurospora_small, cfg)
+        distributed = DistributedWorkflow(
+            neurospora_small, config(),
+            hosts=[VirtualHost("h0", lanes=2), VirtualHost("h1", lanes=2)],
+        ).run()
+        local_stats = [(s.grid_index, s.mean, s.variance)
+                       for s in local.cut_statistics()]
+        remote_stats = [(s.grid_index, s.mean, s.variance)
+                        for s in distributed.workflow.cut_statistics()]
+        assert local_stats == remote_stats
+
+    def test_traffic_is_measured(self, neurospora_small):
+        result = DistributedWorkflow(
+            neurospora_small, config(),
+            hosts=[VirtualHost("h0", lanes=1),
+                   VirtualHost("h1", lanes=1, channel=EC2_NETWORK)],
+        ).run()
+        assert result.total_messages() > 0
+        assert result.total_bytes() > 0
+        # every task quantum crossed down and up
+        down = sum(l.meter.messages for l in result.downlinks.values())
+        up = sum(l.meter.messages for l in result.uplinks.values())
+        assert down > 0 and up >= down  # results + feedback go up
+
+    def test_tasks_have_host_affinity(self, neurospora_small):
+        hosts = [VirtualHost("h0", lanes=1), VirtualHost("h1", lanes=1)]
+        result = DistributedWorkflow(neurospora_small, config(),
+                                     hosts=hosts).run()
+        # round-robin over 2 lanes: both hosts saw traffic
+        assert result.downlinks["h0"].meter.messages > 0
+        assert result.downlinks["h1"].meter.messages > 0
+
+    def test_single_host_cluster(self, neurospora_small):
+        result = DistributedWorkflow(
+            neurospora_small, config(), hosts=[VirtualHost("only", lanes=2)],
+        ).run()
+        assert result.workflow.n_windows >= 1
+
+    def test_needs_hosts(self, neurospora_small):
+        with pytest.raises(ValueError):
+            DistributedWorkflow(neurospora_small, config(), hosts=[])
+
+    def test_lane_validation(self):
+        with pytest.raises(ValueError):
+            VirtualHost("bad", lanes=0)

@@ -1,0 +1,92 @@
+"""Frame codec: round-trips and corruption detection."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.message import (
+    FrameCodec,
+    FrameError,
+    decode_frame,
+    decode_stream,
+    encode_frame,
+)
+
+payloads = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20)
+    | st.floats(allow_nan=False),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=12)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        frame = encode_frame({"x": [1, 2.5, "three"]})
+        obj, rest = decode_frame(frame)
+        assert obj == {"x": [1, 2.5, "three"]}
+        assert rest == b""
+
+    @given(payloads)
+    @settings(max_examples=60)
+    def test_any_picklable(self, obj):
+        decoded, rest = decode_frame(encode_frame(obj))
+        assert decoded == obj and rest == b""
+
+    def test_simulation_task_roundtrips(self, neurospora_small):
+        from repro.sim.task import make_tasks
+        task = make_tasks(neurospora_small, 1, 5.0, 1.0, 1.0, seed=2)[0]
+        task.run_quantum()
+        clone, _ = decode_frame(encode_frame(task))
+        assert clone.run_quantum().samples == task.run_quantum().samples
+
+    def test_concatenated_frames(self):
+        data = encode_frame(1) + encode_frame("two") + encode_frame([3])
+        assert list(decode_stream(data)) == [1, "two", [3]]
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        with pytest.raises(FrameError, match="truncated header"):
+            decode_frame(b"CW\x00")
+
+    def test_truncated_payload(self):
+        frame = encode_frame("hello world")
+        with pytest.raises(FrameError, match="truncated payload"):
+            decode_frame(frame[:-3])
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(1))
+        frame[0] = ord("X")
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_flipped_payload_bit_detected(self):
+        frame = bytearray(encode_frame("payload data here"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(FrameError, match="checksum"):
+            decode_frame(bytes(frame))
+
+    def test_trailing_bytes_returned(self):
+        frame = encode_frame(7) + b"extra"
+        obj, rest = decode_frame(frame)
+        assert obj == 7 and rest == b"extra"
+
+
+class TestCodecAccounting:
+    def test_counters(self):
+        codec = FrameCodec("test")
+        frame = codec.encode([1, 2, 3])
+        codec.decode(frame)
+        assert codec.messages_out == codec.messages_in == 1
+        assert codec.bytes_out == codec.bytes_in == len(frame)
+        assert codec.mean_message_size() == len(frame)
+
+    def test_decode_rejects_trailing(self):
+        codec = FrameCodec()
+        with pytest.raises(FrameError, match="trailing"):
+            codec.decode(encode_frame(1) + b"junk")
+
+    def test_mean_size_empty(self):
+        assert FrameCodec().mean_message_size() == 0.0

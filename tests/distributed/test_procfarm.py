@@ -1,0 +1,34 @@
+"""Process-backed simulation farm (real multiprocessing)."""
+
+import pytest
+
+from repro.distributed.procfarm import run_workflow_multiprocess
+from repro.pipeline import WorkflowConfig, run_workflow
+
+
+def config(**overrides):
+    base = dict(n_simulations=4, t_end=5.0, sample_every=0.5, quantum=2.5,
+                n_sim_workers=2, window_size=5, seed=0, keep_cuts=True)
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+class TestProcessFarm:
+    def test_results_identical_to_thread_farm(self, neurospora_small):
+        """Crossing process boundaries must not change results: same
+        seeds, same trajectories, same statistics."""
+        threaded = run_workflow(neurospora_small, config())
+        processed = run_workflow_multiprocess(neurospora_small, config())
+        assert [(s.grid_index, s.mean) for s in threaded.cut_statistics()] \
+            == [(s.grid_index, s.mean) for s in processed.cut_statistics()]
+
+    def test_trajectories_reassemble(self, neurospora_small):
+        result = run_workflow_multiprocess(neurospora_small, config())
+        trajectories = result.trajectories()
+        assert len(trajectories) == 4
+        assert all(len(t) == 11 for t in trajectories)
+
+    def test_cwc_model_crosses_processes(self, neurospora_cwc_small):
+        cfg = config(n_simulations=2, t_end=2.0, engine="cwc")
+        result = run_workflow_multiprocess(neurospora_cwc_small, cfg)
+        assert result.n_windows >= 1

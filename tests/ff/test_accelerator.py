@@ -1,0 +1,83 @@
+"""Accelerator (offloading) mode."""
+
+import time
+
+import pytest
+
+from repro.ff import Accelerator, Farm, FunctionNode, Pipeline
+from repro.ff.errors import FFError, GraphError, NodeError
+
+
+class TestAccelerator:
+    def test_offload_collect_ordered(self):
+        with Accelerator(Farm.replicate(lambda x: x * 2, 3,
+                                        ordered=True)) as acc:
+            for i in range(20):
+                acc.offload(i)
+            results = acc.collect()
+        assert results == [i * 2 for i in range(20)]
+
+    def test_single_node(self):
+        with Accelerator(FunctionNode(lambda x: x + 1)) as acc:
+            acc.offload(41)
+            assert acc.collect() == [42]
+
+    def test_pipeline_structure(self):
+        pipe = Pipeline([lambda x: x + 1, lambda x: x * 10])
+        with Accelerator(pipe) as acc:
+            for i in range(5):
+                acc.offload(i)
+            results = acc.collect()
+        assert results == [(i + 1) * 10 for i in range(5)]
+
+    def test_try_load_streams_results(self):
+        with Accelerator(FunctionNode(lambda x: x)) as acc:
+            acc.offload("ping")
+            deadline = time.time() + 2.0
+            got, item = False, None
+            while not got and time.time() < deadline:
+                got, item = acc.try_load()
+            assert got and item == "ping"
+            acc.offload("pong")
+            assert acc.collect() == ["pong"]
+
+    def test_empty_stream(self):
+        with Accelerator(FunctionNode(lambda x: x)) as acc:
+            assert acc.collect() == []
+
+    def test_offload_after_collect_rejected(self):
+        acc = Accelerator(FunctionNode(lambda x: x)).start()
+        acc.collect()
+        with pytest.raises(FFError):
+            acc.offload(1)
+
+    def test_offload_before_start_rejected(self):
+        acc = Accelerator(FunctionNode(lambda x: x))
+        with pytest.raises(FFError):
+            acc.offload(1)
+
+    def test_double_start_rejected(self):
+        acc = Accelerator(FunctionNode(lambda x: x)).start()
+        with pytest.raises(FFError):
+            acc.start()
+        acc.collect()
+
+    def test_source_structure_rejected(self):
+        with pytest.raises(GraphError):
+            Accelerator(Pipeline([range(3), lambda x: x]))
+
+    def test_node_error_propagates(self):
+        def boom(x):
+            raise ValueError("bad item")
+
+        acc = Accelerator(FunctionNode(boom)).start()
+        acc.offload(1)
+        with pytest.raises(NodeError):
+            acc.collect()
+
+    def test_reusable_farm_results_unordered(self):
+        with Accelerator(Farm.replicate(lambda x: -x, 4)) as acc:
+            for i in range(30):
+                acc.offload(i)
+            results = acc.collect()
+        assert sorted(results) == [-i for i in range(29, -1, -1)]

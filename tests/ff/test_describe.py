@@ -1,0 +1,51 @@
+"""Topology description."""
+
+from repro.ff import Farm, FunctionNode, Pipeline
+from repro.ff.describe import describe
+from repro.models import neurospora_network
+from repro.pipeline import WorkflowConfig
+from repro.pipeline.builder import build_workflow
+
+
+class TestDescribe:
+    def test_pipeline_and_farm(self):
+        farm = Farm.replicate(lambda x: x, 3, ordered=True, name="f")
+        text = describe(Pipeline([range(3), farm], name="p"))
+        assert "pipeline 'p':" in text
+        assert "farm 'f' [width=3, ordered, ondemand]:" in text
+        assert text.count("worker[") == 3
+
+    def test_feedback_marked(self):
+        from repro.ff import MasterWorkerEmitter
+
+        class E(MasterWorkerEmitter):
+            def is_complete(self, task):
+                return True
+
+        farm = Farm([FunctionNode(lambda x: x)], emitter=E(),
+                    feedback=True, name="mw")
+        text = describe(farm)
+        assert "feedback: workers -> emitter" in text
+        assert "emitter: E" in text
+
+    def test_full_workflow_description_mirrors_fig2(self):
+        workflow = build_workflow(
+            neurospora_network(omega=10),
+            WorkflowConfig(n_simulations=2, t_end=2.0, sample_every=1.0,
+                           quantum=1.0, n_sim_workers=2))
+        text = describe(workflow)
+        # every Fig. 2 box is present
+        assert "task-gen" in text
+        assert "sim-farm" in text
+        assert "sim-eng-0" in text
+        assert "collector: align" in text
+        assert "windows" in text
+        assert "stat-farm" in text
+        assert "collector: gather" in text
+        assert "feedback: workers -> emitter" in text
+
+    def test_pipeline_workers_rendered(self):
+        farm = Farm([Pipeline([lambda x: x], name="inner")], name="outer")
+        text = describe(farm)
+        assert "worker[0]:" in text
+        assert "pipeline 'inner':" in text

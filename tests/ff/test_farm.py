@@ -1,0 +1,168 @@
+"""Farm pattern semantics: replication, ordering, scheduling, nesting."""
+
+import collections
+
+import pytest
+
+from repro.ff import Farm, FunctionNode, GO_ON, Node, Pipeline, run
+from repro.ff.errors import GraphError
+
+BACKENDS = ("sequential", "threads")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestUnorderedFarm:
+    def test_results_are_a_permutation(self, backend):
+        farm = Farm.replicate(lambda x: x * x, 4)
+        out = run(Pipeline([range(20), farm]), backend=backend)
+        assert sorted(out) == [x * x for x in range(20)]
+
+    def test_single_worker(self, backend):
+        farm = Farm.replicate(lambda x: x + 1, 1)
+        out = run(Pipeline([range(5), farm]), backend=backend)
+        assert out == [1, 2, 3, 4, 5]
+
+    def test_round_robin_scheduling(self, backend):
+        farm = Farm.replicate(lambda x: x, 3, scheduling="roundrobin")
+        out = run(Pipeline([range(9), farm]), backend=backend)
+        assert sorted(out) == list(range(9))
+
+    def test_collector_node_sees_everything(self, backend):
+        class Counter(Node):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def svc(self, item):
+                self.count += 1
+                return item
+
+        collector = Counter()
+        farm = Farm([FunctionNode(lambda x: x) for _ in range(3)],
+                    collector=collector)
+        out = run(Pipeline([range(12), farm]), backend=backend)
+        assert collector.count == 12
+        assert sorted(out) == list(range(12))
+
+    def test_emitter_node_transforms(self, backend):
+        farm = Farm([FunctionNode(lambda x: x + 1) for _ in range(2)],
+                    emitter=FunctionNode(lambda x: x * 10))
+        out = run(Pipeline([range(4), farm]), backend=backend)
+        assert sorted(out) == [1, 11, 21, 31]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestOrderedFarm:
+    def test_order_preserved(self, backend):
+        farm = Farm.replicate(lambda x: x * 2, 4, ordered=True)
+        out = run(Pipeline([range(50), farm]), backend=backend)
+        assert out == [x * 2 for x in range(50)]
+
+    def test_order_with_go_on_gaps(self, backend):
+        def drop_odds(x):
+            return x if x % 2 == 0 else GO_ON
+
+        farm = Farm.replicate(drop_odds, 3, ordered=True)
+        out = run(Pipeline([range(20), farm]), backend=backend)
+        assert out == [x for x in range(20) if x % 2 == 0]
+
+    def test_order_with_multi_emit(self, backend):
+        class Expand(Node):
+            def svc(self, item):
+                self.ff_send_out(item)
+                self.ff_send_out(-item)
+                return GO_ON
+
+        farm = Farm([Expand(name=f"e{i}") for i in range(3)], ordered=True)
+        out = run(Pipeline([range(1, 6), farm]), backend=backend)
+        assert out == [1, -1, 2, -2, 3, -3, 4, -4, 5, -5]
+
+    def test_ordered_with_collector(self, backend):
+        seen = []
+
+        def collect(stats):
+            seen.append(stats)
+            return stats
+
+        farm = Farm.replicate(lambda x: x + 100, 4, ordered=True,
+                              collector=collect)
+        out = run(Pipeline([range(10), farm]), backend=backend)
+        assert out == [x + 100 for x in range(10)]
+        assert seen == out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFarmOfPipelines:
+    def test_pipeline_workers(self, backend):
+        workers = [Pipeline([lambda x: x * 2, lambda x: x + 1],
+                            name=f"w{i}") for i in range(3)]
+        farm = Farm(workers)
+        out = run(Pipeline([range(10), farm]), backend=backend)
+        assert sorted(out) == [x * 2 + 1 for x in range(10)]
+
+    def test_farm_inside_pipeline_inside_farm_stage(self, backend):
+        inner_farm = Farm.replicate(lambda x: x + 1, 2)
+        pipe = Pipeline([range(6), inner_farm, lambda x: x * 10])
+        out = run(pipe, backend=backend)
+        assert sorted(out) == [10, 20, 30, 40, 50, 60]
+
+
+class TestFarmValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(GraphError):
+            Farm([])
+
+    def test_replicate_width_validated(self):
+        with pytest.raises(GraphError):
+            Farm.replicate(lambda x: x, 0)
+
+    def test_ordered_feedback_conflict(self):
+        with pytest.raises(GraphError):
+            Farm([FunctionNode(lambda x: x)], emitter=FunctionNode(lambda x: x),
+                 ordered=True, feedback=True)
+
+    def test_feedback_needs_emitter(self):
+        with pytest.raises(GraphError):
+            Farm([FunctionNode(lambda x: x)], feedback=True)
+
+    def test_unknown_scheduling(self):
+        with pytest.raises(GraphError):
+            Farm([FunctionNode(lambda x: x)], scheduling="magic")
+
+    def test_ordered_pipeline_workers_rejected(self):
+        with pytest.raises(GraphError):
+            Farm([Pipeline([lambda x: x])], ordered=True)
+
+    def test_farm_as_head_needs_emitter(self):
+        farm = Farm.replicate(lambda x: x, 2)
+        with pytest.raises(GraphError):
+            run(farm, backend="sequential")
+
+    def test_replicate_factory_instances(self):
+        class Worker(Node):
+            def svc(self, item):
+                return item
+
+        farm = Farm.replicate(Worker, 3)
+        assert farm.width == 3
+        assert len({id(w) for w in farm.workers}) == 3
+
+
+class TestLoadDistribution:
+    def test_ondemand_spreads_work_across_workers(self):
+        counts = collections.Counter()
+
+        class Tagger(Node):
+            def __init__(self, wid):
+                super().__init__(name=f"w{wid}")
+                self.wid = wid
+
+            def svc(self, item):
+                counts[self.wid] += 1
+                return item
+
+        farm = Farm([Tagger(i) for i in range(4)])
+        run(Pipeline([range(100), farm]), backend="sequential")
+        assert sum(counts.values()) == 100
+        # sequential round-robin stepping makes distribution near-uniform
+        assert all(counts[i] > 0 for i in range(4))

@@ -1,0 +1,115 @@
+"""Direct unit tests of the routing building blocks (graph IR)."""
+
+import pytest
+
+from repro.ff.errors import GraphError
+from repro.ff.graph import (
+    ChannelOutbox,
+    DispatchOutbox,
+    NullOutbox,
+    TaggingOutbox,
+    ToWorker,
+)
+from repro.ff.queues import Channel, GroupDone
+
+
+def channels(n, capacity=16):
+    return [Channel(capacity=capacity, name=f"w{i}") for i in range(n)]
+
+
+class TestChannelOutbox:
+    def test_send_and_close(self):
+        ch = Channel()
+        outbox = ChannelOutbox(ch)
+        outbox.send("x")
+        outbox.close()
+        assert list(ch.drain()) == ["x"]
+
+    def test_force_bypasses_capacity(self):
+        ch = Channel(capacity=1)
+        outbox = ChannelOutbox(ch, force=True)
+        outbox.send(1)
+        outbox.send(2)  # would block without force
+        assert len(ch) == 2
+
+    def test_force_respects_abandon(self):
+        ch = Channel(capacity=1)
+        outbox = ChannelOutbox(ch, force=True)
+        ch.abandon()
+        outbox.send(1)
+        assert len(ch) == 0
+
+
+class TestDispatchOutbox:
+    def test_round_robin_cycles(self):
+        targets = channels(3)
+        outbox = DispatchOutbox(targets, policy="roundrobin")
+        for i in range(6):
+            outbox.send(i)
+        assert [len(c) for c in targets] == [2, 2, 2]
+        got, first = targets[0].try_pop()
+        assert got and first == 0
+
+    def test_ondemand_prefers_empty_queue(self):
+        targets = channels(3)
+        outbox = DispatchOutbox(targets, policy="ondemand")
+        # preload worker 0 and 1
+        targets[0].push("busy")
+        targets[1].push("busy")
+        outbox.send("task")
+        assert len(targets[2]) == 1
+
+    def test_ondemand_tie_break_rotates(self):
+        targets = channels(2)
+        outbox = DispatchOutbox(targets, policy="ondemand")
+        outbox.send("a")
+        outbox.send("b")
+        assert len(targets[0]) == 1 and len(targets[1]) == 1
+
+    def test_to_worker_overrides_policy(self):
+        targets = channels(3)
+        outbox = DispatchOutbox(targets, policy="roundrobin")
+        outbox.send(ToWorker(2, "pinned"))
+        assert len(targets[2]) == 1 and len(targets[0]) == 0
+
+    def test_to_worker_index_wraps(self):
+        targets = channels(2)
+        outbox = DispatchOutbox(targets)
+        outbox.send(ToWorker(5, "x"))  # 5 % 2 == 1
+        assert len(targets[1]) == 1
+
+    def test_close_closes_all(self):
+        targets = channels(2)
+        outbox = DispatchOutbox(targets)
+        outbox.close()
+        for target in targets:
+            got, item = target.try_pop()
+            assert got and isinstance(item, GroupDone)
+
+    def test_unknown_policy(self):
+        with pytest.raises(GraphError):
+            DispatchOutbox(channels(1), policy="sorcery")
+
+
+class TestTaggingOutbox:
+    def test_sequence_tags_monotone(self):
+        ch = Channel()
+        outbox = TaggingOutbox(ChannelOutbox(ch))
+        for value in "abc":
+            outbox.send(value)
+        outbox.close()
+        assert list(ch.drain()) == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_to_worker_payload_is_tagged(self):
+        targets = channels(2)
+        outbox = TaggingOutbox(DispatchOutbox(targets))
+        outbox.send(ToWorker(1, "pinned"))
+        got, item = targets[1].try_pop()
+        assert got and item == (0, "pinned")
+
+
+class TestNullOutbox:
+    def test_noop(self):
+        outbox = NullOutbox()
+        outbox.send("dropped")
+        outbox.close()

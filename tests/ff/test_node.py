@@ -1,0 +1,106 @@
+"""Node API behaviour."""
+
+import pytest
+
+from repro.ff.node import (
+    EOS,
+    Emit,
+    FunctionNode,
+    GO_ON,
+    Node,
+    SinkNode,
+    SourceNode,
+    as_node,
+)
+
+
+class TestNodeBasics:
+    def test_default_name_is_class_name(self):
+        class MyStage(Node):
+            def svc(self, item):
+                return item
+
+        assert MyStage().name == "MyStage"
+
+    def test_explicit_name(self):
+        assert FunctionNode(lambda x: x, name="double").name == "double"
+
+    def test_svc_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Node().svc(1)
+
+    def test_send_outside_graph_raises(self):
+        node = FunctionNode(lambda x: x)
+        with pytest.raises(RuntimeError):
+            node.ff_send_out(1)
+        with pytest.raises(RuntimeError):
+            node.send_feedback(1)
+
+    def test_has_feedback_false_by_default(self):
+        assert not FunctionNode(lambda x: x).has_feedback
+
+
+class TestSourceNode:
+    def test_from_iterable(self):
+        src = SourceNode([1, 2, 3])
+        assert list(src.generate()) == [1, 2, 3]
+
+    def test_generate_must_be_provided(self):
+        with pytest.raises(NotImplementedError):
+            list(SourceNode().generate())
+
+    def test_svc_is_forbidden(self):
+        with pytest.raises(RuntimeError):
+            SourceNode([1]).svc(1)
+
+    def test_subclass_generator(self):
+        class Counter(SourceNode):
+            def generate(self):
+                yield from range(4)
+
+        assert list(Counter().generate()) == [0, 1, 2, 3]
+
+
+class TestSinkAndFunction:
+    def test_sink_collects_and_goes_on(self):
+        sink = SinkNode()
+        assert sink.svc("a") is GO_ON
+        assert sink.svc("b") is GO_ON
+        assert sink.results == ["a", "b"]
+
+    def test_function_node_wraps_callable(self):
+        node = FunctionNode(lambda x: x * 2)
+        assert node.svc(21) == 42
+
+    def test_function_node_name_from_callable(self):
+        def halve(x):
+            return x / 2
+
+        assert FunctionNode(halve).name == "halve"
+
+
+class TestAsNode:
+    def test_node_passthrough(self):
+        node = SinkNode()
+        assert as_node(node) is node
+
+    def test_callable_wrapped(self):
+        assert isinstance(as_node(lambda x: x), FunctionNode)
+
+    def test_sequence_wrapped(self):
+        assert isinstance(as_node([1, 2]), SourceNode)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_node(42)
+
+
+class TestEmit:
+    def test_emit_holds_items(self):
+        emit = Emit(x * x for x in range(3))
+        assert emit.items == [0, 1, 4]
+
+    def test_sentinels_are_distinct(self):
+        assert GO_ON is not EOS
+        assert repr(GO_ON) == "GO_ON"
+        assert repr(EOS) == "EOS"

@@ -1,0 +1,141 @@
+"""High-level pattern semantics (parallel_for, map, reduce, D&C)."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ff.patterns import (
+    _chunks,
+    divide_and_conquer,
+    map_reduce,
+    parallel_for,
+    pmap,
+    preduce,
+)
+
+
+def _double(x):
+    return x * 2
+
+
+class TestPmap:
+    @pytest.mark.parametrize("executor", ["sequential", "threads"])
+    def test_order_preserved(self, executor):
+        assert pmap(_double, range(10), n_workers=3,
+                    executor=executor) == [x * 2 for x in range(10)]
+
+    def test_empty(self):
+        assert pmap(_double, []) == []
+
+    def test_single_item_shortcut(self):
+        assert pmap(_double, [21]) == [42]
+
+    def test_processes_executor(self):
+        out = pmap(_double, range(20), n_workers=2, executor="processes")
+        assert out == [x * 2 for x in range(20)]
+
+    def test_unknown_executor(self):
+        from repro.ff.errors import GraphError
+        with pytest.raises(GraphError):
+            pmap(_double, range(4), executor="gpu")
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_builtin_map(self, items, n):
+        assert pmap(_double, items, n_workers=n) == list(map(_double, items))
+
+
+class TestParallelFor:
+    def test_range_semantics(self):
+        assert parallel_for(2, 10, lambda i: i, step=3) == [2, 5, 8]
+
+    def test_empty_range(self):
+        assert parallel_for(5, 5, lambda i: i) == []
+
+
+class TestPreduce:
+    def test_sum(self):
+        assert preduce(operator.add, range(101)) == 5050
+
+    def test_initial_value(self):
+        assert preduce(operator.add, [1, 2, 3], initial=10) == 16
+
+    def test_empty_with_initial(self):
+        assert preduce(operator.add, [], initial=7) == 7
+
+    def test_empty_without_initial_raises(self):
+        with pytest.raises(ValueError):
+            preduce(operator.add, [])
+
+    def test_non_commutative_associative(self):
+        # string concatenation: associative but not commutative
+        parts = [chr(ord("a") + i) for i in range(20)]
+        assert preduce(operator.add, parts, n_workers=4) == "".join(parts)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=60),
+           st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_sum(self, items, n):
+        assert preduce(operator.add, items, n_workers=n) == sum(items)
+
+
+class TestMapReduce:
+    def test_word_count(self):
+        docs = ["a b a", "b c", "a"]
+        counts = map_reduce(
+            lambda doc: [(w, 1) for w in doc.split()],
+            operator.add, docs, n_workers=2)
+        assert counts == {"a": 3, "b": 2, "c": 1}
+
+    def test_empty_input(self):
+        assert map_reduce(lambda x: [(x, 1)], operator.add, []) == {}
+
+
+class TestDivideAndConquer:
+    def test_mergesort(self):
+        data = [5, 3, 9, 1, 7, 2, 8, 6, 4, 0]
+
+        def merge(parts):
+            out = []
+            for part in parts:
+                out.extend(part)
+            return sorted(out)
+
+        result = divide_and_conquer(
+            data,
+            is_base=lambda p: len(p) <= 2,
+            base_solve=sorted,
+            divide=lambda p: [p[:len(p) // 2], p[len(p) // 2:]],
+            conquer=merge)
+        assert result == sorted(data)
+
+    def test_base_case_direct(self):
+        result = divide_and_conquer(
+            [1], is_base=lambda p: len(p) <= 2, base_solve=sorted,
+            divide=lambda p: [], conquer=lambda parts: parts)
+        assert result == [1]
+
+    def test_fib(self):
+        def fib_dc(n):
+            return divide_and_conquer(
+                n, is_base=lambda k: k < 2, base_solve=lambda k: k,
+                divide=lambda k: [k - 1, k - 2], conquer=sum, n_workers=2)
+
+        assert fib_dc(12) == 144
+
+
+class TestChunks:
+    def test_even_split(self):
+        assert _chunks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_remainder_spread(self):
+        chunks = _chunks(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for c in chunks for x in c] == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        assert _chunks([1, 2], 5) == [[1], [2]]
+
+    def test_empty(self):
+        assert _chunks([], 3) == []

@@ -1,0 +1,129 @@
+"""Pipeline pattern semantics on both executors."""
+
+import pytest
+
+from repro.ff import EOS, Emit, GO_ON, FunctionNode, Node, Pipeline, run
+from repro.ff.errors import GraphError
+
+BACKENDS = ("sequential", "threads")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLinearPipelines:
+    def test_identity(self, backend):
+        assert run(Pipeline([range(5)]), backend=backend) == [0, 1, 2, 3, 4]
+
+    def test_two_stages(self, backend):
+        out = run(Pipeline([range(5), lambda x: x + 10]), backend=backend)
+        assert out == [10, 11, 12, 13, 14]
+
+    def test_three_stages_compose_in_order(self, backend):
+        out = run(Pipeline([range(4), lambda x: x * 2, lambda x: x + 1]),
+                  backend=backend)
+        assert out == [1, 3, 5, 7]
+
+    def test_nested_pipeline(self, backend):
+        inner = Pipeline([lambda x: x * 2, lambda x: x - 1])
+        out = run(Pipeline([range(4), inner, lambda x: x * 10]),
+                  backend=backend)
+        assert out == [-10, 10, 30, 50]
+
+    def test_go_on_filters(self, backend):
+        def keep_even(x):
+            return x if x % 2 == 0 else GO_ON
+
+        out = run(Pipeline([range(8), keep_even]), backend=backend)
+        assert out == [0, 2, 4, 6]
+
+    def test_emit_expands(self, backend):
+        out = run(Pipeline([range(3), lambda x: Emit([x] * x)]),
+                  backend=backend)
+        assert out == [1, 2, 2]
+
+    def test_node_terminates_stream_with_eos(self, backend):
+        class Until3(Node):
+            def svc(self, item):
+                if item >= 3:
+                    return EOS
+                return item
+
+        out = run(Pipeline([range(100), Until3()]), backend=backend)
+        assert out == [0, 1, 2]
+
+    def test_ff_send_out_multiple(self, backend):
+        class Duplicator(Node):
+            def svc(self, item):
+                self.ff_send_out(item)
+                self.ff_send_out(item)
+                return GO_ON
+
+        out = run(Pipeline([range(3), Duplicator()]), backend=backend)
+        assert out == [0, 0, 1, 1, 2, 2]
+
+    def test_svc_end_can_flush(self, backend):
+        class SumAtEnd(Node):
+            def __init__(self):
+                super().__init__()
+                self.total = 0
+
+            def svc(self, item):
+                self.total += item
+                return GO_ON
+
+            def svc_end(self):
+                self.ff_send_out(self.total)
+
+        out = run(Pipeline([range(10), SumAtEnd()]), backend=backend)
+        assert out == [45]
+
+    def test_empty_source(self, backend):
+        assert run(Pipeline([[], lambda x: x]), backend=backend) == []
+
+    def test_collect_false_returns_nothing(self, backend):
+        assert run(Pipeline([range(3)]), backend=backend,
+                   collect=False) == []
+
+
+class TestPipelineConstruction:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(GraphError):
+            Pipeline([])
+
+    def test_rshift_sugar(self):
+        pipe = Pipeline([range(3)]) >> (lambda x: x + 1)
+        assert run(pipe, backend="sequential") == [1, 2, 3]
+
+    def test_len(self):
+        assert len(Pipeline([range(3), lambda x: x])) == 2
+
+    def test_head_must_be_source(self):
+        with pytest.raises(GraphError):
+            run(Pipeline([lambda x: x]), backend="sequential")
+
+    def test_same_node_twice_rejected(self):
+        node = FunctionNode(lambda x: x)
+        with pytest.raises(GraphError):
+            run(Pipeline([range(3), node, node]), backend="sequential")
+
+
+class TestErrorPropagation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stage_exception_surfaces(self, backend):
+        def boom(x):
+            if x == 2:
+                raise ValueError("kaboom")
+            return x
+
+        from repro.ff.errors import NodeError
+        with pytest.raises((NodeError, ValueError)):
+            run(Pipeline([range(5), boom]), backend=backend)
+
+    def test_threads_wrap_in_node_error(self):
+        from repro.ff.errors import NodeError
+
+        def boom(x):
+            raise RuntimeError("inner")
+
+        with pytest.raises(NodeError) as info:
+            run(Pipeline([range(3), boom]), backend="threads")
+        assert isinstance(info.value.original, RuntimeError)

@@ -1,0 +1,93 @@
+"""The dividing-cell-population model: dynamic compartment structure."""
+
+import statistics
+
+import pytest
+
+from repro.cwc import CWCSimulator
+from repro.cwc.matching import match_multiplicity
+from repro.models.cell_population import cell_population_model, count_cells
+
+
+class TestStructure:
+    def test_initial_population(self):
+        model = cell_population_model(n_cells=5, biomass0=3)
+        assert count_cells(model.term) == 5
+        assert model.measure(model.term) == (15,)
+
+    def test_not_flat(self):
+        assert not cell_population_model().is_flat()
+
+
+class TestDynamics:
+    def test_population_grows_when_division_dominates(self):
+        model = cell_population_model(n_cells=3, division=1.0, death=0.01)
+        simulator = CWCSimulator(model, seed=0)
+        simulator.advance(8.0)
+        assert count_cells(simulator.term) > 3
+
+    def test_population_dies_out_when_death_dominates(self):
+        model = cell_population_model(n_cells=3, growth=0.1,
+                                      division=0.01, death=5.0)
+        simulator = CWCSimulator(model, seed=1)
+        simulator.advance(10.0)
+        assert count_cells(simulator.term) == 0
+        # an empty system is absorbed: no further reactions
+        assert not simulator.step()
+
+    def test_daughters_start_with_half_the_threshold(self):
+        model = cell_population_model(n_cells=1, biomass0=5,
+                                      growth=10.0, division=50.0,
+                                      death=0.0, division_threshold=6)
+        simulator = CWCSimulator(model, seed=3)
+        for _ in range(200):
+            if count_cells(simulator.term) >= 2:
+                break
+            simulator.step()
+        assert count_cells(simulator.term) >= 2
+        # total biomass is conserved by division itself (only growth adds)
+        for cell in simulator.term.walk_compartments():
+            assert cell.content.atoms.count("x") >= 0
+
+    def test_growth_rate_scales_with_population(self):
+        """The grow rule's multiplicity must equal the number of cells --
+        the live check that matching stays correct as the tree changes."""
+        model = cell_population_model(n_cells=4, death=0.0)
+        simulator = CWCSimulator(model, seed=5)
+        grow = next(r for r in model.rules if r.name == "grow")
+        for _ in range(150):
+            expected = count_cells(simulator.term)
+            assert match_multiplicity(grow.lhs, simulator.term) == expected
+            if not simulator.step():
+                break
+
+    def test_cache_correct_under_structural_churn(self):
+        """Every division/death invalidates the propensity cache; cached
+        and uncached runs must stay identical through heavy churn."""
+        model = cell_population_model(n_cells=3, division=1.5, death=0.4)
+        cached = CWCSimulator(model, seed=9).run(4.0, 1.0)
+        uncached = CWCSimulator(model, seed=9,
+                                cache_propensities=False).run(4.0, 1.0)
+        assert cached.samples == uncached.samples
+
+    def test_mean_population_follows_branching_intuition(self):
+        """With division rate d and death rate k per cell, the population
+        mean grows when the effective branching ratio exceeds 1."""
+        model = cell_population_model(n_cells=4, growth=5.0,
+                                      division=2.0, death=0.1)
+        finals = []
+        for seed in range(8):
+            simulator = CWCSimulator(model, seed=seed)
+            simulator.advance(3.0)
+            finals.append(count_cells(simulator.term))
+        assert statistics.mean(finals) > 4
+
+    def test_pipeline_integration(self):
+        """The dynamic model runs through the full farmed workflow."""
+        from repro.pipeline import WorkflowConfig, run_workflow
+        model = cell_population_model(n_cells=3)
+        result = run_workflow(model, WorkflowConfig(
+            n_simulations=3, t_end=4.0, sample_every=1.0, quantum=2.0,
+            n_sim_workers=2, window_size=5, seed=0, engine="cwc"))
+        assert result.n_windows >= 1
+        assert len(result.cut_statistics()) == 5

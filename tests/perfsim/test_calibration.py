@@ -1,0 +1,41 @@
+"""Cost-model calibration against the real stack."""
+
+import pytest
+
+from repro.perfsim.calibration import CalibrationReport, calibrate_cost_model
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.models import neurospora_network
+        return calibrate_cost_model(neurospora_network(omega=50),
+                                    t_probe=0.5)
+
+    def test_measured_values_positive(self, report):
+        assert report.step_seconds > 0
+        assert report.align_seconds_per_sample > 0
+        assert report.stat_seconds_per_trajectory > 0
+
+    def test_ratios_are_plausible(self, report):
+        """One SSA step is the expensive unit; an alignment insert and a
+        per-trajectory stats pass are each cheaper."""
+        assert report.align_seconds_per_sample < report.step_seconds
+        assert report.stat_seconds_per_trajectory < 5 * report.step_seconds
+
+    def test_cost_model_normalisation(self, report):
+        model = report.cost_model(reference_step=1.0e-6)
+        assert model.step_cost == 1.0e-6
+        # ratios preserved under normalisation
+        assert model.align_cost_per_sample / model.step_cost == \
+            pytest.approx(report.align_seconds_per_sample
+                          / report.step_seconds, rel=1e-9)
+
+    def test_calibrated_model_runs_the_des(self, report):
+        from repro.perfsim import TrajectoryWorkload
+        from repro.perfsim.runner import simulate_workflow
+        workload = TrajectoryWorkload(
+            n_trajectories=16, t_end=4.0, quantum=1.0, sample_every=0.5)
+        result = simulate_workflow(workload, cost=report.cost_model(),
+                                   n_sim_workers=4)
+        assert result.makespan > 0

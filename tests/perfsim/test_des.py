@@ -1,0 +1,215 @@
+"""The discrete-event simulation kernel."""
+
+import pytest
+
+from repro.perfsim.des import Environment, Event, Resource, Store
+
+
+class TestTimeouts:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        log = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+
+        env.process(proc(3.0, "late"))
+        env.process(proc(1.0, "early"))
+        env.run()
+        assert log == [(1.0, "early"), (3.0, "late")]
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+        ticks = []
+
+        def proc():
+            for _ in range(3):
+                yield env.timeout(2.0)
+                ticks.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_same_time_fifo(self):
+        env = Environment()
+        log = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        env.process(proc("first"))
+        env.process(proc("second"))
+        env.run()
+        assert log == ["first", "second"]
+
+
+class TestProcesses:
+    def test_return_value_via_until(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        result = env.run(until=env.process(proc()))
+        assert result == 42
+
+    def test_process_waits_for_process(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(5.0)
+            return "done"
+
+        def parent():
+            result = yield env.process(child())
+            return (env.now, result)
+
+        assert env.run(until=env.process(parent())) == (5.0, "done")
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(TypeError):
+            env.run()
+
+
+class TestStore:
+    def test_fifo(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append((env.now, item))
+
+        def producer():
+            yield env.timeout(7.0)
+            yield store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [(7.0, "x")]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")  # blocks until the consumer pops
+            log.append(("put-b", env.now))
+
+        def consumer():
+            yield env.timeout(10.0)
+            assert (yield store.get()) == "a"
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert log == [("put-a", 0.0), ("put-b", 10.0)]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        env = Environment()
+        resource = Resource(env, slots=1)
+        spans = []
+
+        def proc(tag):
+            yield resource.acquire()
+            start = env.now
+            yield env.timeout(2.0)
+            resource.release()
+            spans.append((tag, start, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+    def test_parallel_slots(self):
+        env = Environment()
+        resource = Resource(env, slots=2)
+        ends = []
+
+        def proc():
+            yield resource.acquire()
+            yield env.timeout(3.0)
+            resource.release()
+            ends.append(env.now)
+
+        for _ in range(4):
+            env.process(proc())
+        env.run()
+        assert ends == [3.0, 3.0, 6.0, 6.0]
+
+    def test_release_without_acquire(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            Resource(env, slots=1).release()
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build_and_run():
+            env = Environment()
+            store = Store(env, capacity=2)
+            trace = []
+
+            def producer():
+                for i in range(5):
+                    yield env.timeout(0.5)
+                    yield store.put(i)
+
+            def consumer():
+                for _ in range(5):
+                    item = yield store.get()
+                    yield env.timeout(0.8)
+                    trace.append((round(env.now, 6), item))
+
+            env.process(producer())
+            env.process(consumer())
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,115 @@
+"""Property-based checks on the performance-model building blocks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.simt import _schedule_warps
+from repro.perfsim.des import Environment, Event, Store
+from repro.perfsim.workload import TrajectoryWorkload
+
+durations = st.lists(st.floats(min_value=0.01, max_value=100.0),
+                     min_size=1, max_size=40)
+
+
+class TestWarpSchedulingBounds:
+    @given(durations, st.integers(1, 16))
+    @settings(max_examples=80)
+    def test_makespan_bounds(self, times, slots):
+        """Greedy list scheduling: max(longest job, total/slots) <=
+        makespan <= total/slots + longest job (Graham's bound)."""
+        makespan = _schedule_warps(times, slots)
+        total = sum(times)
+        longest = max(times)
+        lower = max(longest, total / slots)
+        assert makespan >= lower - 1e-9
+        assert makespan <= total / min(slots, len(times)) + longest + 1e-9
+
+    @given(durations)
+    @settings(max_examples=40)
+    def test_single_slot_is_serial(self, times):
+        assert _schedule_warps(times, 1) == pytest.approx(sum(times))
+
+    @given(durations)
+    @settings(max_examples=40)
+    def test_infinite_slots_is_max(self, times):
+        assert _schedule_warps(times, 10 ** 6) == pytest.approx(max(times))
+
+
+class TestWorkloadPartitionProperty:
+    @given(st.integers(1, 60),   # t_end in sample units
+           st.integers(1, 25),   # quantum in half-sample units
+           st.sampled_from([0.25, 0.5, 1.0]))
+    @settings(max_examples=80)
+    def test_samples_partition_grid(self, t_units, q_halves, sample):
+        t_end = t_units * sample
+        quantum = q_halves * sample / 2.0
+        workload = TrajectoryWorkload(
+            n_trajectories=1, t_end=t_end, quantum=quantum,
+            sample_every=sample)
+        total = sum(workload.samples_in_quantum(q)
+                    for q in range(workload.n_quanta))
+        assert total == workload.n_grid_points
+
+    @given(st.integers(1, 40), st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_quanta_cover_t_end(self, t_units, q_units):
+        t_end, quantum = float(t_units), float(q_units)
+        workload = TrajectoryWorkload(
+            n_trajectories=1, t_end=t_end, quantum=quantum,
+            sample_every=1.0)
+        last_start, last_end = workload.quantum_span(workload.n_quanta - 1)
+        assert last_end == pytest.approx(t_end)
+        assert last_start < t_end
+
+
+class TestDesGuards:
+    def test_event_double_succeed_rejected(self):
+        env = Environment()
+        event = Event(env)
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_max_events_livelock_guard(self):
+        env = Environment()
+
+        def spinner():
+            while True:
+                yield env.timeout(0.0)
+
+        env.process(spinner())
+        with pytest.raises(RuntimeError, match="did not settle"):
+            env.run(max_events=1000)
+
+    def test_until_never_fires(self):
+        env = Environment()
+        never = Event(env)
+
+        def quick():
+            yield env.timeout(1.0)
+
+        env.process(quick())
+        with pytest.raises(RuntimeError, match="never fired"):
+            env.run(until=never)
+
+    def test_store_many_waiters_fifo(self):
+        env = Environment()
+        store = Store(env)
+        order = []
+
+        def consumer(tag):
+            item = yield store.get()
+            order.append((tag, item))
+
+        def producer():
+            yield env.timeout(1.0)
+            for i in range(3):
+                yield store.put(i)
+
+        for tag in "abc":
+            env.process(consumer(tag))
+        env.process(producer())
+        env.run()
+        assert order == [("a", 0), ("b", 1), ("c", 2)]

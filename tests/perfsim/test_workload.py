@@ -1,0 +1,107 @@
+"""Workload models and calibration."""
+
+import pytest
+
+from repro.perfsim.workload import TrajectoryWorkload, measure_workload
+
+
+def workload(**overrides):
+    base = dict(n_trajectories=4, t_end=10.0, quantum=1.0,
+                sample_every=0.5, seed=0)
+    base.update(overrides)
+    return TrajectoryWorkload(**base)
+
+
+class TestGridMath:
+    def test_quanta_count(self):
+        assert workload(t_end=10.0, quantum=1.0).n_quanta == 10
+        assert workload(t_end=10.0, quantum=3.0).n_quanta == 4
+        assert workload(t_end=10.0, quantum=20.0).n_quanta == 1
+
+    def test_grid_points(self):
+        assert workload(t_end=10.0, sample_every=0.5).n_grid_points == 21
+
+    def test_samples_partition_the_grid(self):
+        wl = workload(t_end=10.0, quantum=1.7, sample_every=0.5)
+        total = sum(wl.samples_in_quantum(q) for q in range(wl.n_quanta))
+        assert total == wl.n_grid_points
+
+    def test_first_quantum_includes_t0(self):
+        wl = workload(quantum=1.0, sample_every=0.5)
+        assert wl.samples_in_quantum(0) == 3  # t = 0, 0.5, 1.0
+
+    def test_quantum_span_clamped(self):
+        wl = workload(t_end=10.0, quantum=3.0)
+        assert wl.quantum_span(3) == (9.0, 10.0)
+
+
+class TestCostTraces:
+    def test_deterministic(self):
+        a, b = workload(seed=3), workload(seed=3)
+        assert a.quantum_steps(2, 5) == b.quantum_steps(2, 5)
+
+    def test_seed_changes_trace(self):
+        assert workload(seed=1).quantum_steps(0, 0) != \
+            workload(seed=2).quantum_steps(0, 0)
+
+    def test_mean_rate_respected(self):
+        wl = workload(n_trajectories=20, steps_per_hour=1000.0,
+                      jitter_cv=0.0, poisson_noise=False)
+        total = wl.total_steps()
+        expected = 20 * 10.0 * 1000.0
+        assert total == pytest.approx(expected, rel=0.15)
+
+    def test_oscillation_spreads_trajectories(self):
+        wl = workload(n_trajectories=30, oscillation_amplitude=0.5,
+                      jitter_cv=0.0, poisson_noise=False)
+        costs = [wl.quantum_steps(i, 0) for i in range(30)]
+        assert max(costs) > 1.3 * min(costs)
+
+    def test_no_oscillation_no_spread(self):
+        wl = workload(n_trajectories=10, oscillation_amplitude=0.0,
+                      jitter_cv=0.0, poisson_noise=False)
+        costs = {round(wl.quantum_steps(i, 0), 9) for i in range(10)}
+        assert len(costs) == 1
+
+    def test_steps_positive(self):
+        wl = workload(n_trajectories=10)
+        for i in range(10):
+            for q in range(wl.n_quanta):
+                assert wl.quantum_steps(i, q) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workload(n_trajectories=0)
+        with pytest.raises(ValueError):
+            workload(oscillation_amplitude=1.5)
+        with pytest.raises(ValueError):
+            workload(quantum=0)
+
+
+class TestMessageSizes:
+    def test_result_size_tracks_samples(self):
+        wl = workload(quantum=2.0, sample_every=0.5)
+        big = wl.result_message_size(1)
+        tiny = TrajectoryWorkload(
+            n_trajectories=1, t_end=10.0, quantum=0.5, sample_every=0.5,
+            seed=0).result_message_size(1)
+        assert big > tiny
+
+
+class TestCalibration:
+    def test_measure_against_real_engine(self, neurospora_small):
+        fitted = measure_workload(neurospora_small, t_end=20.0, quantum=1.0,
+                                  sample_every=0.5, n_probe=2, seed=0)
+        assert fitted.steps_per_hour > 10
+        assert 0.0 <= fitted.oscillation_amplitude < 0.95
+        assert 0.0 <= fitted.jitter_cv <= 0.5
+        assert fitted.n_observables == 3
+
+    def test_fitted_total_matches_measured_scale(self, neurospora_small):
+        from repro.cwc.network import FlatSimulator
+        simulator = FlatSimulator(neurospora_small, seed=0)
+        simulator.advance(20.0)
+        real_rate = simulator.steps / 20.0
+        fitted = measure_workload(neurospora_small, t_end=20.0, quantum=1.0,
+                                  sample_every=0.5, n_probe=2, seed=0)
+        assert fitted.steps_per_hour == pytest.approx(real_rate, rel=0.5)

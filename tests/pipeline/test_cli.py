@@ -1,0 +1,58 @@
+"""The command-line front-end."""
+
+import pytest
+
+from repro.pipeline.main import build_arg_parser, main
+
+
+class TestArgParser:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args([])
+        assert args.model == "neurospora"
+        assert args.simulations == 16
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["--model", "nonexistent"])
+
+    def test_all_models_listed(self):
+        parser = build_arg_parser()
+        for model in ("neurospora", "neurospora-cwc", "lotka-volterra",
+                      "toggle", "enzyme"):
+            args = parser.parse_args(["--model", model])
+            assert args.model == model
+
+
+class TestMain:
+    def test_small_run(self, capsys):
+        code = main(["--model", "enzyme", "--simulations", "4",
+                     "--t-end", "5", "--quantum", "1",
+                     "--sample-every", "0.5", "--window", "4",
+                     "--sim-workers", "2", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windows" in out and "trajectories" in out
+
+    def test_progress_lines(self, capsys):
+        main(["--model", "enzyme", "--simulations", "2",
+              "--t-end", "4", "--quantum", "1", "--sample-every", "1",
+              "--window", "2", "--sim-workers", "1"])
+        out = capsys.readouterr().out
+        assert "window" in out
+
+    def test_histogram_flag(self, capsys):
+        code = main(["--model", "toggle", "--omega", "20",
+                     "--simulations", "6", "--t-end", "10",
+                     "--quantum", "2", "--sample-every", "1",
+                     "--window", "11", "--sim-workers", "2",
+                     "--histogram", "6", "--quiet"])
+        assert code == 0
+        assert "histogram" in capsys.readouterr().out
+
+    def test_neurospora_reports_period(self, capsys):
+        code = main(["--model", "neurospora", "--omega", "30",
+                     "--simulations", "4", "--t-end", "60",
+                     "--quantum", "4", "--sample-every", "0.5",
+                     "--window", "20", "--sim-workers", "2", "--quiet"])
+        assert code == 0
+        assert "period" in capsys.readouterr().out

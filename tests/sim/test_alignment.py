@@ -1,0 +1,116 @@
+"""Trajectory alignment: out-of-order quantum results -> in-order cuts."""
+
+import random
+
+import pytest
+
+from repro.ff.node import Node
+from repro.sim.alignment import TrajectoryAligner
+from repro.sim.task import QuantumResult
+from repro.sim.trajectory import Cut
+
+
+class _Capture:
+    """Binds an outbox so the aligner can be driven directly."""
+
+    def __init__(self, node: Node):
+        self.items = []
+        node._outbox = self
+
+    def send(self, item):
+        self.items.append(item)
+
+
+def result(task_id, samples, done=False):
+    return QuantumResult(task_id=task_id,
+                         samples=[(g, float(g), (float(v),))
+                                  for g, v in samples],
+                         time=0.0, steps=0, done=done)
+
+
+class TestAlignment:
+    def test_cut_emitted_when_all_reported(self):
+        aligner = TrajectoryAligner(2)
+        out = _Capture(aligner)
+        aligner.svc(result(0, [(0, 10)]))
+        assert out.items == []
+        aligner.svc(result(1, [(0, 20)]))
+        assert len(out.items) == 1
+        cut = out.items[0]
+        assert isinstance(cut, Cut)
+        assert cut.grid_index == 0
+        assert cut.values == [(10.0,), (20.0,)]
+
+    def test_values_ordered_by_task_id(self):
+        aligner = TrajectoryAligner(3)
+        out = _Capture(aligner)
+        aligner.svc(result(2, [(0, 2)]))
+        aligner.svc(result(0, [(0, 0)]))
+        aligner.svc(result(1, [(0, 1)]))
+        assert out.items[0].values == [(0.0,), (1.0,), (2.0,)]
+
+    def test_cuts_in_grid_order_despite_skew(self):
+        aligner = TrajectoryAligner(2)
+        out = _Capture(aligner)
+        # trajectory 0 races ahead three grid points
+        aligner.svc(result(0, [(0, 1), (1, 1), (2, 1)]))
+        assert out.items == []
+        aligner.svc(result(1, [(0, 2), (1, 2)]))
+        assert [c.grid_index for c in out.items] == [0, 1]
+        aligner.svc(result(1, [(2, 2)]))
+        assert [c.grid_index for c in out.items] == [0, 1, 2]
+
+    def test_random_interleaving_property(self):
+        """Any interleaving of per-trajectory streams yields the full
+        in-order cut sequence."""
+        rng = random.Random(5)
+        n_traj, n_grid = 4, 12
+        streams = {
+            t: [(g, t * 100 + g) for g in range(n_grid)]
+            for t in range(n_traj)
+        }
+        aligner = TrajectoryAligner(n_traj)
+        out = _Capture(aligner)
+        pending = {t: 0 for t in range(n_traj)}
+        while any(v < n_grid for v in pending.values()):
+            t = rng.choice([k for k, v in pending.items() if v < n_grid])
+            take = rng.randint(1, min(3, n_grid - pending[t]))
+            chunk = streams[t][pending[t]:pending[t] + take]
+            pending[t] += take
+            aligner.svc(result(t, chunk))
+        assert [c.grid_index for c in out.items] == list(range(n_grid))
+        for cut in out.items:
+            assert cut.values == [
+                (float(t * 100 + cut.grid_index),) for t in range(n_traj)]
+
+    def test_duplicate_report_rejected(self):
+        aligner = TrajectoryAligner(2)
+        _Capture(aligner)
+        aligner.svc(result(0, [(0, 1)]))
+        with pytest.raises(ValueError, match="twice"):
+            aligner.svc(result(0, [(0, 1)]))
+
+    def test_report_after_emit_rejected(self):
+        aligner = TrajectoryAligner(1)
+        _Capture(aligner)
+        aligner.svc(result(0, [(0, 1)]))  # cut 0 emitted (n=1)
+        with pytest.raises(ValueError, match="already emitted"):
+            aligner.svc(result(0, [(0, 2)]))
+
+    def test_type_check(self):
+        aligner = TrajectoryAligner(1)
+        with pytest.raises(TypeError):
+            aligner.svc("not a result")
+
+    def test_partial_tail_dropped_at_end(self):
+        aligner = TrajectoryAligner(2)
+        out = _Capture(aligner)
+        aligner.svc(result(0, [(0, 1), (1, 1)]))
+        aligner.svc(result(1, [(0, 2)]))
+        aligner.svc_end()
+        assert [c.grid_index for c in out.items] == [0]
+        assert aligner.max_buffered >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryAligner(0)

@@ -1,0 +1,102 @@
+"""The simulation farm end to end: generator -> engines -> aligner."""
+
+import pytest
+
+from repro.ff import Farm, Pipeline, run
+from repro.sim.alignment import TrajectoryAligner
+from repro.sim.engine import SimEngineNode
+from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
+from repro.sim.trajectory import Cut, assemble_trajectories
+from repro.cwc.network import FlatSimulator
+
+BACKENDS = ("sequential", "threads")
+
+
+def sim_farm(n_simulations, n_workers=3, stop=None):
+    return Farm(
+        [SimEngineNode(name=f"se{i}") for i in range(n_workers)],
+        emitter=SimTaskEmitter(stop_requested=stop),
+        collector=TrajectoryAligner(n_simulations),
+        feedback=True)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSimulationFarm:
+    def test_produces_all_cuts(self, neurospora_small, backend):
+        n, t_end, dt = 5, 6.0, 0.5
+        gen = TaskGenerator(neurospora_small, n, t_end, quantum=1.5,
+                            sample_every=dt, seed=0)
+        cuts = run(Pipeline([gen, sim_farm(n)]), backend=backend)
+        assert [c.grid_index for c in cuts] == list(range(13))
+        assert all(isinstance(c, Cut) for c in cuts)
+        assert all(c.n_trajectories == n for c in cuts)
+
+    def test_cut_values_match_direct_simulation(self, neurospora_small,
+                                                backend):
+        """The farmed, quantum-sliced, aligned output is bit-identical to
+        running each trajectory directly with the same seed."""
+        n, t_end, dt, seed = 4, 5.0, 1.0, 7
+        gen = TaskGenerator(neurospora_small, n, t_end, quantum=2.0,
+                            sample_every=dt, seed=seed)
+        cuts = run(Pipeline([gen, sim_farm(n)]), backend=backend)
+        trajectories = assemble_trajectories(cuts, n)
+        for task_id, trajectory in enumerate(trajectories):
+            direct = FlatSimulator(neurospora_small,
+                                   seed=seed + task_id).run(t_end, dt)
+            assert trajectory.samples == direct.samples
+            assert trajectory.times == direct.times
+
+    def test_engines_share_load(self, neurospora_small, backend):
+        n = 8
+        engines = [SimEngineNode(name=f"se{i}") for i in range(4)]
+        farm = Farm(engines, emitter=SimTaskEmitter(),
+                    collector=TrajectoryAligner(n), feedback=True)
+        gen = TaskGenerator(neurospora_small, n, 4.0, quantum=0.5,
+                            sample_every=1.0, seed=1)
+        run(Pipeline([gen, farm]), backend=backend)
+        total = sum(e.quanta_executed for e in engines)
+        assert total == n * 8  # 8 quanta per trajectory
+        assert sum(1 for e in engines if e.quanta_executed > 0) >= 2
+
+    def test_steering_stop(self, neurospora_small, backend):
+        flag = {"stop": False}
+        emitter = SimTaskEmitter(stop_requested=lambda: flag["stop"])
+        n = 4
+
+        class StopAfterFirstCut(TrajectoryAligner):
+            def svc(self, result):
+                out = super().svc(result)
+                if self.cuts_emitted >= 1:
+                    flag["stop"] = True
+                return out
+
+        farm = Farm([SimEngineNode(name=f"se{i}") for i in range(2)],
+                    emitter=emitter,
+                    collector=StopAfterFirstCut(n), feedback=True)
+        gen = TaskGenerator(neurospora_small, n, 1000.0, quantum=0.5,
+                            sample_every=0.5, seed=0)
+        cuts = run(Pipeline([gen, farm]), backend=backend)
+        # stopped long before the 2001 cuts a full run would produce
+        assert 1 <= len(cuts) < 100
+
+
+class TestAssembleTrajectories:
+    def test_transpose_roundtrip(self):
+        cuts = [Cut(grid_index=g, time=float(g),
+                    values=[(g * 10 + t,) for t in range(3)])
+                for g in range(5)]
+        trajectories = assemble_trajectories(cuts, 3)
+        assert len(trajectories) == 3
+        assert trajectories[1].samples == [(g * 10 + 1,) for g in range(5)]
+        assert trajectories[2].times == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_sorted_even_if_shuffled(self):
+        cuts = [Cut(grid_index=g, time=float(g), values=[(g,)])
+                for g in (2, 0, 1)]
+        trajectories = assemble_trajectories(cuts, 1)
+        assert trajectories[0].samples == [(0,), (1,), (2,)]
+
+    def test_cardinality_mismatch(self):
+        cuts = [Cut(grid_index=0, time=0.0, values=[(1,)])]
+        with pytest.raises(ValueError):
+            assemble_trajectories(cuts, 2)

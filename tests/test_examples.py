@@ -1,0 +1,38 @@
+"""Every example must at least import cleanly (full runs are manual /
+documented; the cheap ones execute end to end here)."""
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.stem for p in
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    path = str(pathlib.Path(__file__).parent.parent / "examples")
+    sys.path.insert(0, path)
+    yield
+    sys.path.remove(path)
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        assert {"quickstart", "neurospora_circadian", "toggle_kmeans",
+                "distributed_cloud", "gpu_offload",
+                "methods_comparison"}.issubset(set(EXAMPLES))
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "main")
+
+    def test_quickstart_runs(self, capsys):
+        importlib.import_module("quickstart").main()
+        out = capsys.readouterr().out
+        assert "mass check" in out
+        assert "conserved = 200" in out
