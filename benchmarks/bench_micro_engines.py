@@ -37,6 +37,47 @@ def test_flat_ssa_throughput(benchmark):
     assert steps > 100
 
 
+def test_batch_ssa_throughput(benchmark):
+    """The vectorized lockstep engine vs. the scalar flat engine, per-step
+    throughput at batch size 1024 (>= 10x is the acceptance bar, measured
+    against the scalar engine's best case -- itself already sped up by the
+    Gibson-Bruck incremental propensity cache)."""
+    import time
+
+    from repro.cwc.batch import BatchFlatSimulator
+
+    network = neurospora_network(omega=100)
+    n = 1024
+
+    def batch_hour():
+        simulator = BatchFlatSimulator(network, n, seed=1)
+        simulator.advance(1.0)
+        return simulator.total_steps
+
+    batch_steps = benchmark(batch_hour)
+    assert batch_steps > 100 * n
+
+    # scalar reference measured inline, best of three (favour the scalar
+    # engine: the assertion must hold against its best case)
+    scalar_rate = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        scalar = FlatSimulator(network, seed=1)
+        scalar.advance(1.0)
+        scalar_rate = max(scalar_rate,
+                          scalar.steps / (time.perf_counter() - t0))
+
+    batch_elapsed = benchmark.stats.stats.min
+    batch_rate = batch_steps / batch_elapsed
+    speedup = batch_rate / scalar_rate
+    benchmark.extra_info["batch_steps_per_s"] = batch_rate
+    benchmark.extra_info["scalar_steps_per_s"] = scalar_rate
+    benchmark.extra_info["speedup"] = speedup
+    print(f"\nbatch({n}): {batch_rate:,.0f} steps/s  "
+          f"scalar: {scalar_rate:,.0f} steps/s  speedup: {speedup:.1f}x")
+    assert speedup >= 10.0
+
+
 def test_cwc_ssa_throughput(benchmark):
     model = neurospora_cwc_model(omega=100)
 

@@ -4,40 +4,36 @@ Run with::
 
     python examples/gpu_offload.py
 
-Offloads blocks of CWC simulations to a modeled NVidia K40 through the
-``ff_mapCUDA``-equivalent node: execution is functionally real (the same
-Gillespie trajectories a CPU run produces), while the SIMT device models
-warp-lockstep timing, thread divergence, occupancy and launch overheads.
-Prints a miniature Table I (CPU vs. GPU across ensemble sizes and quantum
-settings) plus the divergence diagnostics that explain it.
+Offloads blocks of simulations to a modeled NVidia K40 through the
+``ff_mapCUDA``-equivalent node: execution is functionally real (the NumPy
+batch SSA engine advances a whole block per kernel, the faithful rendering
+of the paper's CUDA kernel), while the SIMT device models warp-lockstep
+timing, thread divergence, occupancy and launch overheads from the
+*measured* per-trajectory step counts.  Prints a miniature Table I (CPU
+vs. GPU across ensemble sizes and quantum settings) on real SSA, plus the
+divergence diagnostics that explain it.
 """
 
-from repro.ff import Farm, MasterWorkerEmitter, Pipeline, run
-from repro.gpu import MapCUDANode, SimtDevice, simulate_gpu_run, tesla_k40
+from repro.ff import Farm, Pipeline, run
+from repro.gpu import MapCUDANode, SimtDevice, simulate_gpu_run_ssa, tesla_k40
+from repro.gpu.workflow import BlockEmitter
 from repro.models import neurospora_network
-from repro.perfsim import CostModel, TrajectoryWorkload
+from repro.perfsim import CostModel
 from repro.sim.alignment import TrajectoryAligner
-from repro.sim.task import make_tasks
+from repro.sim.task import make_batch_tasks
 from repro.sim.trajectory import assemble_trajectories
 
 
-class BlockEmitter(MasterWorkerEmitter):
-    """Streams whole blocks of simulations to the device."""
-
-    def is_complete(self, block):
-        return all(task.done for task in block)
-
-
 def functional_offload() -> None:
-    """A real (small) run through the mapCUDA node."""
+    """A real (small) run through the mapCUDA node, batch-kernel path."""
     network = neurospora_network(omega=50)
     n, t_end = 8, 12.0
     device = SimtDevice(tesla_k40(), step_cost=1e-6)
-    tasks = make_tasks(network, n, t_end, quantum=1.0, sample_every=0.5,
-                       seed=2)
-    farm = Farm([MapCUDANode(device)], emitter=BlockEmitter(),
+    tasks = make_batch_tasks(network, n, t_end, quantum=1.0,
+                             sample_every=0.5, seed=2, batch_size=n)
+    farm = Farm([MapCUDANode(device)], emitter=BlockEmitter(n_devices=1),
                 collector=TrajectoryAligner(n), feedback=True)
-    cuts = run(Pipeline([[tasks], farm]), backend="sequential")
+    cuts = run(Pipeline([tasks, farm]), backend="sequential")
     trajectories = assemble_trajectories(cuts, n)
     print(f"offloaded {n} trajectories x {t_end:.0f} h: "
           f"{len(cuts)} aligned cuts, "
@@ -48,28 +44,35 @@ def functional_offload() -> None:
 
 
 def table_one_mini() -> None:
-    """Table I on the cost model (fast, all four ensemble sizes)."""
+    """Table I on real SSA: every row runs actual batched Gillespie
+    trajectories; the K40 timing is modeled from the measured per-thread
+    step counts (scaled-down ensemble/horizon to keep the example fast)."""
     cost = CostModel()
+    network = neurospora_network(omega=100)
+    t_end, sample = 6.0, 0.25
     print(f"{'N sims':>7} {'CPU(32)':>9} {'GPU q10':>9} {'GPU q1':>9} "
           f"{'div q10':>8} {'div q1':>7}")
-    for n in (128, 512, 1024, 2048):
+    for n in (128, 512, 1024):
         row = {}
         for q_ratio in (10, 1):
-            workload = TrajectoryWorkload(
-                n_trajectories=n, t_end=24.0, quantum=0.25 * q_ratio,
-                sample_every=0.25, steps_per_hour=5900.0, seed=5)
-            cpu = workload.total_steps() * cost.step_cost / 32
-            gpu = simulate_gpu_run(
-                workload, SimtDevice(tesla_k40(), step_cost=cost.step_cost))
-            row[q_ratio] = (cpu, gpu)
-        print(f"{n:>7} {row[10][0]:>9.2f} {row[10][1].total_time:>9.2f} "
-              f"{row[1][1].total_time:>9.2f} "
+            device = SimtDevice(tesla_k40(), step_cost=cost.step_cost)
+            stats, batch = simulate_gpu_run_ssa(
+                network, device, n_trajectories=n, t_end=t_end,
+                quantum=sample * q_ratio, seed=5)
+            cpu = batch.total_steps * cost.step_cost / 32
+            row[q_ratio] = (cpu, stats)
+        print(f"{n:>7} {row[10][0]:>9.3f} {row[10][1].total_time:>9.3f} "
+              f"{row[1][1].total_time:>9.3f} "
               f"{row[10][1].mean_divergence_ratio:>8.2f} "
               f"{row[1][1].mean_divergence_ratio:>7.2f}")
-    print("\nreading: the GPU loses below ~512 simulations (too little "
-          "parallelism to hide divergence),\nwins ~2x at 1024-2048; short "
-          "quanta (q1) cut divergence via fresher re-balancing, paying "
-          "more kernel launches.")
+    print("\nreading: the GPU loses at small ensembles (too little "
+          "parallelism to hide divergence)\nand wins at 512-1024.  On "
+          "this near-homogeneous circadian workload the measured\n"
+          "divergence *rises* with short quanta (fewer steps per quantum "
+          "-> noisier per-warp\ncosts); the paper's regime, where "
+          "trajectory heterogeneity dominates and fresh\nre-balancing "
+          "pays off, is reproduced by the cost-model bench "
+          "(bench_table1_gpu).")
 
 
 def main() -> None:

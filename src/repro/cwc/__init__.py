@@ -17,6 +17,8 @@ Modules:
 * :mod:`repro.cwc.gillespie` -- the SSA engine over CWC terms;
 * :mod:`repro.cwc.network` -- flat reaction networks (the plain-Gillespie
   baseline, also used as the fast path for compartment-free models);
+* :mod:`repro.cwc.batch` -- the NumPy-vectorized batch engine (many flat
+  trajectories advanced in lockstep);
 * :mod:`repro.cwc.ode` -- deterministic ODE baseline;
 * :mod:`repro.cwc.parser` -- a small textual syntax for CWC models.
 """
@@ -28,6 +30,7 @@ from repro.cwc.model import Model, Observable
 from repro.cwc.matching import match_multiplicity, enumerate_matches
 from repro.cwc.gillespie import CWCSimulator, SSAResult
 from repro.cwc.network import Reaction, ReactionNetwork, FlatSimulator
+from repro.cwc.batch import BatchFlatSimulator, CompiledNetwork, batch_simulator
 from repro.cwc.methods import FirstReactionSimulator, TauLeapSimulator
 from repro.cwc.invariants import conservation_laws, verify_conservation
 from repro.cwc.ode import integrate_ode
@@ -53,6 +56,9 @@ __all__ = [
     "Reaction",
     "ReactionNetwork",
     "FlatSimulator",
+    "BatchFlatSimulator",
+    "CompiledNetwork",
+    "batch_simulator",
     "FirstReactionSimulator",
     "TauLeapSimulator",
     "conservation_laws",

@@ -1,0 +1,450 @@
+"""NumPy-vectorized batch SSA: many flat trajectories advanced in lockstep.
+
+This is the Python analog of the paper's SIMT offload: instead of one slow
+scalar Gillespie loop per trajectory, a whole *batch* of independent
+trajectories advances together, each SSA step executed as a handful of
+NumPy array operations over the batch.  The building blocks:
+
+* :class:`CompiledNetwork` precompiles a
+  :class:`~repro.cwc.network.ReactionNetwork` into a stoichiometry matrix,
+  a reactant-order matrix and vectorized propensity evaluators (mass-action
+  ``comb(n, 1)``/``comb(n, 2)`` fast paths; the rate laws of
+  :mod:`repro.cwc.rates` are translated to array expressions; arbitrary
+  callables fall back to a per-trajectory loop);
+* :class:`BatchFlatSimulator` holds the batched state (counts matrix,
+  per-trajectory clocks and step counters) and one
+  :class:`numpy.random.Generator`.  Every lockstep iteration draws all
+  exponential waiting times at once, selects one reaction per trajectory
+  by cumulative-sum inversion, and applies all state changes with a single
+  scatter-add.  Trajectories that reach their time target (or exhaust
+  their propensities) drop out of the *active mask* without stalling the
+  rest of the batch.
+
+Stopping at a quantum boundary remains statistically exact for every
+member: the exponential clock is memoryless, so the partially elapsed
+waiting time of a trajectory that overshoots its target is discarded and
+resampled on the next call -- the same argument
+:meth:`repro.cwc.gillespie.CWCSimulator.advance` relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cwc.gillespie import SSAResult
+from repro.cwc.model import Model
+from repro.cwc.network import ReactionNetwork, StateView
+from repro.cwc.rates import (
+    Constant,
+    HillActivation,
+    HillRepression,
+    Linear,
+    MichaelisMenten,
+    Product,
+)
+
+
+class _RowView:
+    """StateView adapter reading one row of the batched counts matrix.
+
+    Only used by the generic-callable fallback of
+    :func:`_vectorize_rate_law`; the known rate-law classes never touch it.
+    """
+
+    __slots__ = ("_row", "_index")
+
+    def __init__(self, row: np.ndarray, index: dict[str, int]):
+        self._row = row
+        self._index = index
+
+    def count(self, species: str) -> int:
+        i = self._index.get(species)
+        return int(self._row[i]) if i is not None else 0
+
+    def __getitem__(self, species: str) -> int:
+        return self.count(species)
+
+
+def _vectorize_rate_law(rate, index: dict[str, int]
+                        ) -> Callable[[np.ndarray], np.ndarray]:
+    """Translate one functional rate law into an array expression.
+
+    Returns a function mapping the batched counts matrix ``X`` (one row
+    per trajectory, one column per species) to the per-trajectory rate
+    values.  The picklable law classes of :mod:`repro.cwc.rates` get exact
+    closed-form translations; any other callable is evaluated row by row
+    through a :class:`_RowView` (slow, but identical to the scalar path).
+    """
+    if isinstance(rate, Constant):
+        value = float(rate.value)
+        return lambda X: np.full(X.shape[0], value)
+    if isinstance(rate, Linear):
+        col, k = index[rate.species], float(rate.k)
+        return lambda X: k * X[:, col]
+    if isinstance(rate, HillRepression):
+        col = index[rate.species]
+        omega, v, n = float(rate.omega), float(rate.v), float(rate.n)
+        kn = float(rate.K) ** n
+
+        def hill_repression(X: np.ndarray) -> np.ndarray:
+            x = X[:, col] / omega
+            return omega * v * kn / (kn + x ** n)
+        return hill_repression
+    if isinstance(rate, HillActivation):
+        col = index[rate.species]
+        omega, v, n = float(rate.omega), float(rate.v), float(rate.n)
+        kn = float(rate.K) ** n
+
+        def hill_activation(X: np.ndarray) -> np.ndarray:
+            xn = (X[:, col] / omega) ** n
+            return omega * v * xn / (kn + xn)
+        return hill_activation
+    if isinstance(rate, MichaelisMenten):
+        col = index[rate.species]
+        omega, v, K = float(rate.omega), float(rate.v), float(rate.K)
+
+        def michaelis_menten(X: np.ndarray) -> np.ndarray:
+            x = X[:, col] / omega
+            return omega * v * x / (K + x)
+        return michaelis_menten
+    if isinstance(rate, Product):
+        left = (_vectorize_rate_law(rate.left, index)
+                if callable(rate.left) else None)
+        right = (_vectorize_rate_law(rate.right, index)
+                 if callable(rate.right) else None)
+        lc = None if left is not None else float(rate.left)
+        rc = None if right is not None else float(rate.right)
+
+        def product(X: np.ndarray) -> np.ndarray:
+            lv = left(X) if left is not None else lc
+            rv = right(X) if right is not None else rc
+            return lv * rv
+        return product
+
+    # generic callable: row-by-row through the StateView protocol
+    def generic(X: np.ndarray) -> np.ndarray:
+        out = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            out[i] = rate(_RowView(X[i], index))
+        return out
+    return generic
+
+
+class CompiledNetwork:
+    """A :class:`ReactionNetwork` precompiled for batched evaluation.
+
+    Attributes:
+
+    * ``species_index`` -- species name -> column in the counts matrix;
+    * ``stoich`` -- ``(n_reactions, n_species)`` net state change per
+      firing (products minus reactants);
+    * ``order`` -- ``(n_reactions, n_species)`` reactant multiplicities
+      (the ``m`` of each ``comb(n, m)`` factor);
+    * ``propensities(X)`` -- the batched propensity matrix.
+    """
+
+    def __init__(self, network: ReactionNetwork):
+        self.network = network
+        self.species_index = {s: i for i, s in enumerate(network.species)}
+        n_reactions = len(network.reactions)
+        n_species = len(network.species)
+        self.stoich = np.zeros((n_reactions, n_species), dtype=np.int64)
+        self.order = np.zeros((n_reactions, n_species), dtype=np.int64)
+        rates = np.zeros(n_reactions)
+        functional: list[tuple[int, Callable[[np.ndarray], np.ndarray]]] = []
+        for j, reaction in enumerate(network.reactions):
+            for species, need in reaction.reactants:
+                col = self.species_index[species]
+                self.order[j, col] = need
+                self.stoich[j, col] -= need
+            for species, made in reaction.products:
+                self.stoich[j, self.species_index[species]] += made
+            if callable(reaction.rate):
+                functional.append(
+                    (j, _vectorize_rate_law(reaction.rate, self.species_index)))
+            else:
+                rates[j] = float(reaction.rate)
+        self._rates = rates
+        self._functional = functional
+        self._functional_set = {j for j, _ in functional}
+        # per-reaction list of (column, multiplicity) with need > 0, split
+        # into the comb fast paths
+        self._reactants: list[tuple[tuple[int, int], ...]] = [
+            tuple((self.species_index[s], n) for s, n in r.reactants)
+            for r in network.reactions
+        ]
+        self.initial = np.array(
+            [network.initial.get(s, 0) for s in network.species],
+            dtype=np.int64)
+        self.observable_columns = np.array(
+            [self.species_index[o] for o in network.observables],
+            dtype=np.intp)
+
+    def __getstate__(self) -> dict:
+        # the vectorized rate-law closures are not picklable; ship the
+        # network and recompile on the receiving side (cheap, and exactly
+        # what a distributed worker would do anyway)
+        return {"network": self.network}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["network"])
+
+    @property
+    def n_reactions(self) -> int:
+        return self.stoich.shape[0]
+
+    @property
+    def n_species(self) -> int:
+        return self.stoich.shape[1]
+
+    def _combinatorics(self, X: np.ndarray, j: int) -> np.ndarray:
+        """``prod_i comb(X[:, i], order[j, i])`` for reaction ``j``.
+
+        ``comb(n, 1) = n`` and ``comb(n, 2) = n(n-1)/2`` cover virtually
+        every mass-action reaction in practice; higher orders use the
+        falling-factorial product.  All cases yield exactly 0 whenever a
+        reactant is short (``n < m``), so availability gating is implicit.
+        """
+        h: Union[float, np.ndarray] = 1.0
+        for col, need in self._reactants[j]:
+            n = X[:, col]
+            if need == 1:
+                h = h * n
+            elif need == 2:
+                h = h * (n * (n - 1) * 0.5)
+            else:
+                factor = n.astype(np.float64)
+                term = factor.copy()
+                for d in range(1, need):
+                    term = term * (factor - d)
+                h = h * (term / math.factorial(need))
+        if isinstance(h, float):
+            return np.full(X.shape[0], h)
+        return h.astype(np.float64, copy=False)
+
+    def propensities_T(self, X: np.ndarray) -> np.ndarray:
+        """The ``(n_reactions, n_trajectories)`` propensity matrix at the
+        batched state ``X``.
+
+        Transposed layout: each reaction's values are contiguous, which
+        makes both the assembly here and the cumulative-sum reaction
+        selection of the lockstep loop stride-1 operations.
+        """
+        out = np.empty((self.n_reactions, X.shape[0]))
+        for j in range(self.n_reactions):
+            if j in self._functional_set:
+                continue
+            np.multiply(self._rates[j], self._combinatorics(X, j),
+                        out=out[j])
+        for j, law in self._functional:
+            value = law(X)
+            # functional rates give the full propensity; the reactant list
+            # only gates the reaction on availability (as in
+            # Reaction.propensity)
+            for col, need in self._reactants[j]:
+                value = np.where(X[:, col] >= need, value, 0.0)
+            out[j] = value
+        return out
+
+    def propensities(self, X: np.ndarray) -> np.ndarray:
+        """The ``(n_trajectories, n_reactions)`` propensity matrix at
+        the batched state ``X``."""
+        return self.propensities_T(X).T
+
+
+class BatchFlatSimulator:
+    """``n`` independent flat-network trajectories advanced in lockstep.
+
+    State is batched: ``counts`` is an ``(n, n_species)`` integer matrix,
+    ``times``/``steps`` are per-trajectory vectors, and a single
+    :class:`numpy.random.Generator` supplies all randomness.  The public
+    surface mirrors the scalar engines where it can (``advance``,
+    ``observe``, ``run``) and adds batched variants (``observe_all``,
+    ``run_all``).
+    """
+
+    def __init__(self, network: Union[ReactionNetwork, CompiledNetwork],
+                 n_trajectories: int, seed: Optional[int] = None):
+        if n_trajectories < 1:
+            raise ValueError(
+                f"need >= 1 trajectory, got {n_trajectories}")
+        if isinstance(network, CompiledNetwork):
+            self.compiled = network
+        else:
+            self.compiled = CompiledNetwork(network)
+        self.network = self.compiled.network
+        self.n = n_trajectories
+        self.counts = np.tile(self.compiled.initial, (n_trajectories, 1))
+        self.times = np.zeros(n_trajectories)
+        self.steps = np.zeros(n_trajectories, dtype=np.int64)
+        #: trajectories whose total propensity hit zero (the state can no
+        #: longer change, so exhaustion is permanent)
+        self.exhausted = np.zeros(n_trajectories, dtype=bool)
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def model(self) -> ReactionNetwork:
+        return self.network
+
+    @property
+    def observable_names(self) -> tuple[str, ...]:
+        return self.network.observables
+
+    @property
+    def time(self) -> float:
+        """The lockstep clock (minimum over members, matching the scalar
+        interface when all members share their targets)."""
+        return float(self.times.min())
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.steps.sum())
+
+    # ------------------------------------------------------------------
+    # lockstep advancing
+    # ------------------------------------------------------------------
+    def advance(self, quantum: Union[float, np.ndarray]) -> np.ndarray:
+        """Advance every trajectory by up to ``quantum`` simulated time
+        units (scalar, or one value per trajectory); returns ``times``."""
+        targets = self.times + quantum
+        return self.advance_to(targets)
+
+    def advance_to(self, targets: np.ndarray) -> np.ndarray:
+        """Advance every trajectory to its own absolute time target.
+
+        Exhausted trajectories jump straight to their target (matching
+        :meth:`FlatSimulator.step` semantics for a zero total propensity).
+
+        The loop operates on a *compacted* working set: the active rows
+        are gathered once, advanced in place (float64 counts, exact for
+        any realistic population), and written back only when a
+        trajectory retires -- so the per-iteration cost is pure SSA math,
+        with no full-state gather/scatter.
+        """
+        targets = np.broadcast_to(np.asarray(targets, dtype=np.float64),
+                                  (self.n,)).copy()
+        np.maximum(self.times, targets, out=targets)
+        self.times[self.exhausted] = targets[self.exhausted]
+        active = np.flatnonzero(~self.exhausted & (self.times < targets))
+        if not active.size:
+            return self.times
+        X = self.counts[active].astype(np.float64)
+        tw = self.times[active].copy()
+        trg = targets[active]
+        new_steps = np.zeros(active.size, dtype=np.int64)
+        stoich = self.compiled.stoich.astype(np.float64)
+        n_reactions = self.compiled.n_reactions
+
+        def retire(done: np.ndarray, exhausted: bool = False):
+            """Write retired rows back; compact the working arrays."""
+            nonlocal active, X, tw, trg, new_steps
+            idx = active[done]
+            self.counts[idx] = X[done].astype(np.int64)
+            self.times[idx] = targets[idx]
+            self.steps[idx] += new_steps[done]
+            if exhausted:
+                self.exhausted[idx] = True
+            keep = ~done
+            active, X, tw = active[keep], X[keep], tw[keep]
+            trg, new_steps = trg[keep], new_steps[keep]
+            return keep
+
+        while active.size:
+            # (n_reactions, m) cumulative propensities: the running sums
+            # drive reaction selection and their last row is the totals
+            cumulative = np.cumsum(self.compiled.propensities_T(X), axis=0)
+            totals = cumulative[-1]
+
+            dead = totals <= 0.0
+            if dead.any():
+                keep = retire(dead, exhausted=True)
+                if not active.size:
+                    break
+                cumulative = cumulative[:, keep]
+                totals = cumulative[-1]
+
+            taus = self.rng.exponential(1.0, size=active.size) / totals
+            new_times = tw + taus
+            over = new_times >= trg
+            if over.any():
+                # exact: discard the residual exponential (memoryless);
+                # a landing exactly on the target also retires
+                keep = retire(over)
+                if not active.size:
+                    break
+                cumulative = cumulative[:, keep]
+                totals = cumulative[-1]
+                new_times = new_times[keep]
+
+            picks = self.rng.random(active.size) * totals
+            chosen = (cumulative < picks[None, :]).sum(axis=0)
+            # numerical slack: never index past the last reaction
+            np.clip(chosen, 0, n_reactions - 1, out=chosen)
+            X += stoich[chosen]
+            tw = new_times
+            new_steps += 1
+        return self.times
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_all(self) -> np.ndarray:
+        """``(n, n_observables)`` float matrix of the current observables."""
+        return self.counts[:, self.compiled.observable_columns].astype(
+            np.float64)
+
+    def observe(self, trajectory: int = 0) -> tuple[float, ...]:
+        return tuple(
+            float(v)
+            for v in self.counts[trajectory,
+                                 self.compiled.observable_columns])
+
+    def state_view(self, trajectory: int) -> StateView:
+        """A scalar-engine-style state view of one member (for rate-law
+        interop and debugging)."""
+        counts = {s: int(self.counts[trajectory, i])
+                  for s, i in self.compiled.species_index.items()}
+        return StateView(counts)
+
+    # ------------------------------------------------------------------
+    # whole-run convenience (the batched analog of FlatSimulator.run)
+    # ------------------------------------------------------------------
+    def run_all(self, t_end: float, sample_every: float) -> list[SSAResult]:
+        """Run every trajectory to ``t_end``, sampling on the shared grid;
+        returns one :class:`SSAResult` per trajectory."""
+        results = [SSAResult(model_name=self.network.name,
+                             observable_names=self.network.observables)
+                   for _ in range(self.n)]
+        next_sample = float(self.times.min())
+        while True:
+            self.advance_to(np.full(self.n, next_sample))
+            values = self.observe_all().tolist()  # plain floats
+            for i, result in enumerate(results):
+                result.times.append(next_sample)
+                result.samples.append(tuple(values[i]))
+            if next_sample >= t_end:
+                break
+            next_sample = min(next_sample + sample_every, t_end)
+        for i, result in enumerate(results):
+            result.steps = int(self.steps[i])
+        return results
+
+    def __repr__(self) -> str:
+        return (f"<BatchFlatSimulator {self.network.name!r} n={self.n} "
+                f"t=[{self.times.min():.4g}, {self.times.max():.4g}] "
+                f"steps={self.total_steps}>")
+
+
+def batch_simulator(model: Union[Model, ReactionNetwork],
+                    n_trajectories: int,
+                    seed: Optional[int] = None) -> BatchFlatSimulator:
+    """Build a batch simulator from a network or a compartment-free model
+    (mirrors the ``engine="flat"`` coercion of ``make_tasks``)."""
+    if isinstance(model, ReactionNetwork):
+        network = model
+    else:
+        network = ReactionNetwork.from_model(model)
+    return BatchFlatSimulator(network, n_trajectories, seed=seed)

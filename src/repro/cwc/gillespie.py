@@ -51,7 +51,16 @@ class SSAResult:
     steps: int = 0
 
     def column(self, name: str) -> list[float]:
-        idx = self.observable_names.index(name)
+        try:
+            index = self._column_index
+        except AttributeError:
+            index = {n: i for i, n in enumerate(self.observable_names)}
+            self._column_index = index
+        try:
+            idx = index[name]
+        except KeyError:
+            raise ValueError(
+                f"{name!r} is not in {self.observable_names}") from None
         return [s[idx] for s in self.samples]
 
     def __len__(self) -> int:
@@ -60,6 +69,9 @@ class SSAResult:
 
 class CWCSimulator:
     """One stochastic trajectory of a CWC model (see module docstring)."""
+
+    #: context refreshes between exact re-summations of the grand total
+    RESUM_INTERVAL = 4096
 
     def __init__(self, model: Model, seed: Optional[int] = None,
                  cache_propensities: bool = True):
@@ -72,6 +84,10 @@ class CWCSimulator:
         # context cache: id(term) -> (term, [(rule, a), ...], total)
         self._cache: dict[int, tuple[Term, list[tuple[Rule, float]], float]] = {}
         self._cache_valid = False
+        # grand total over all contexts, maintained by delta on refresh so
+        # the per-step total does not re-sum the cache
+        self._cache_total = 0.0
+        self._refreshes_since_resum = 0
 
     # ------------------------------------------------------------------
     # propensity computation
@@ -97,14 +113,25 @@ class CWCSimulator:
 
     def _rebuild_cache(self) -> None:
         self._cache = {}
+        grand = 0.0
         for term in self.term.walk_terms():
             entries, total = self._context_propensities(term)
             self._cache[id(term)] = (term, entries, total)
+            grand += total
+        self._cache_total = grand
+        self._refreshes_since_resum = 0
         self._cache_valid = True
 
     def _refresh_context(self, term: Term) -> None:
+        old = self._cache.get(id(term))
         entries, total = self._context_propensities(term)
         self._cache[id(term)] = (term, entries, total)
+        self._cache_total += total - (old[2] if old is not None else 0.0)
+        self._refreshes_since_resum += 1
+        if self._refreshes_since_resum >= self.RESUM_INTERVAL:
+            # insurance against float drift in the delta updates
+            self._cache_total = sum(t for _, _, t in self._cache.values())
+            self._refreshes_since_resum = 0
 
     def total_propensity(self) -> float:
         if not self.cache_propensities:
@@ -113,19 +140,41 @@ class CWCSimulator:
                 for t in self.term.walk_terms())
         if not self._cache_valid:
             self._rebuild_cache()
-        return sum(total for _, _, total in self._cache.values())
+        return self._cache_total
 
     # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
+    def _tail_event(self, grand_total: float,
+                    preferred: Optional[Term] = None
+                    ) -> Optional[tuple[Rule, Term, float]]:
+        """Float-rounding fallback for the cumulative scan: the running
+        sum overshot without selecting, so take the last entry of
+        ``preferred`` (the context the scan stopped in) or, failing that,
+        of the first context that has any entries at all."""
+        if preferred is not None:
+            entries = self._cache[id(preferred)][1]
+            if entries:
+                return entries[-1][0], preferred, grand_total
+        for term, entries, _total in self._cache.values():
+            if entries:
+                return entries[-1][0], term, grand_total
+        return None
+
     def _pick_event(self) -> Optional[tuple[Rule, Term, float]]:
         """Return (rule, context, total propensity) or None if exhausted."""
         if self.cache_propensities:
             if not self._cache_valid:
                 self._rebuild_cache()
-            grand_total = sum(t for _, _, t in self._cache.values())
+            grand_total = self._cache_total
             if grand_total <= 0.0:
-                return None
+                # delta-update drift could hide a tiny positive total:
+                # settle it exactly before declaring exhaustion
+                grand_total = sum(t for _, _, t in self._cache.values())
+                self._cache_total = grand_total
+                self._refreshes_since_resum = 0
+                if grand_total <= 0.0:
+                    return None
             pick = self.rng.random() * grand_total
             acc = 0.0
             for term, entries, total in self._cache.values():
@@ -136,14 +185,8 @@ class CWCSimulator:
                     acc += a
                     if pick < acc:
                         return rule, term, grand_total
-                # numerical slack: fall through to the last entry
-                if entries:
-                    return entries[-1][0], term, grand_total
-            # should be unreachable; guard against float rounding
-            for term, entries, total in self._cache.values():
-                if entries:
-                    return entries[-1][0], term, grand_total
-            return None
+                return self._tail_event(grand_total, preferred=term)
+            return self._tail_event(grand_total)
         # uncached path
         events: list[tuple[Rule, Term, float]] = []
         grand_total = 0.0

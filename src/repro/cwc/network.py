@@ -43,6 +43,28 @@ class StateView:
 RateLaw = Union[float, int, Callable[[StateView], float]]
 
 
+def _rate_law_reads(rate) -> Optional[set[str]]:
+    """The species a functional rate law reads, or ``None`` when unknown
+    (opaque callable: treated as reading the whole state)."""
+    from repro.cwc import rates
+
+    if isinstance(rate, rates.Constant):
+        return set()
+    if isinstance(rate, (rates.Linear, rates.HillRepression,
+                         rates.HillActivation, rates.MichaelisMenten)):
+        return {rate.species}
+    if isinstance(rate, rates.Product):
+        sides = set()
+        for side in (rate.left, rate.right):
+            if callable(side):
+                reads = _rate_law_reads(side)
+                if reads is None:
+                    return None
+                sides |= reads
+        return sides
+    return None
+
+
 @dataclass(frozen=True)
 class Reaction:
     """``reactants -> products`` with a mass-action constant or a rate law."""
@@ -51,6 +73,22 @@ class Reaction:
     reactants: tuple[tuple[str, int], ...]
     products: tuple[tuple[str, int], ...]
     rate: RateLaw
+
+    def __post_init__(self) -> None:
+        # precompiled evaluation data (the propensity is the inner-loop
+        # hot spot of every scalar engine): reactant tuples pinned to a
+        # local, the common comb(n,1)/comb(n,2) orders dispatched without
+        # math.comb, and the callable test done once
+        object.__setattr__(self, "_reactant_pairs", tuple(self.reactants))
+        object.__setattr__(self, "_rate_is_callable", callable(self.rate))
+        net: dict[str, int] = {}
+        for species, need in self.reactants:
+            net[species] = net.get(species, 0) - need
+        for species, made in self.products:
+            net[species] = net.get(species, 0) + made
+        object.__setattr__(
+            self, "_net_change",
+            tuple((s, d) for s, d in net.items() if d != 0))
 
     @classmethod
     def make(cls, name: str, reactants: "Mapping[str, int] | str",
@@ -61,17 +99,28 @@ class Reaction:
             return tuple(sorted(spec.items()))
         return cls(name, norm(reactants), norm(products), rate)
 
+    @property
+    def changed_species(self) -> tuple[tuple[str, int], ...]:
+        """``(species, net change)`` pairs with a non-zero net change --
+        the state delta one firing applies (catalysts cancel out)."""
+        return self._net_change
+
     def propensity(self, counts: dict[str, int]) -> float:
         """Mass-action: ``k * prod C(n_i, m_i)``.  Functional rates give
         the *full* propensity themselves (the reactant list only defines
         what is consumed and gates the reaction on availability)."""
         h = 1
-        for species, need in self.reactants:
+        for species, need in self._reactant_pairs:
             have = counts.get(species, 0)
             if have < need:
                 return 0.0
-            h *= math.comb(have, need)
-        if callable(self.rate):
+            if need == 1:
+                h *= have
+            elif need == 2:
+                h *= have * (have - 1) >> 1
+            else:
+                h *= math.comb(have, need)
+        if self._rate_is_callable:
             return self.rate(StateView(counts))
         return self.rate * h
 
@@ -105,6 +154,35 @@ class ReactionNetwork:
         unknown = set(self.observables) - set(self.species)
         if unknown:
             raise ValueError(f"unknown observables: {sorted(unknown)}")
+        self._dependencies: Optional[tuple[tuple[int, ...], ...]] = None
+
+    def reaction_dependencies(self) -> tuple[tuple[int, ...], ...]:
+        """The Gibson-Bruck dependency graph: ``deps[j]`` lists the
+        reactions whose propensity may change after reaction ``j`` fires.
+
+        A reaction's propensity *reads* its reactant species plus whatever
+        its rate law reads (the picklable laws of :mod:`repro.cwc.rates`
+        declare their species; an opaque callable is conservatively
+        assumed to read everything).  Reaction ``i`` depends on ``j`` iff
+        the read set of ``i`` intersects the net state change of ``j``.
+        """
+        if self._dependencies is not None:
+            return self._dependencies
+        reads: list[Optional[set[str]]] = []
+        for reaction in self.reactions:
+            read: Optional[set[str]] = {s for s, _ in reaction.reactants}
+            if callable(reaction.rate):
+                law_reads = _rate_law_reads(reaction.rate)
+                read = None if law_reads is None else read | law_reads
+            reads.append(read)
+        deps = []
+        for j, reaction in enumerate(self.reactions):
+            changed = {s for s, _ in reaction.changed_species}
+            deps.append(tuple(
+                i for i, read in enumerate(reads)
+                if read is None or read & changed))
+        self._dependencies = tuple(deps)
+        return self._dependencies
 
     @classmethod
     def from_model(cls, model: Model) -> "ReactionNetwork":
@@ -135,7 +213,17 @@ class FlatSimulator:
     :class:`~repro.cwc.gillespie.CWCSimulator` (``time``, ``steps``,
     ``advance``, ``run``, ``observe``), so the simulation pipeline can farm
     either engine interchangeably.
+
+    Propensities are maintained incrementally through the network's
+    Gibson-Bruck dependency graph: after a reaction fires, only the
+    propensities of reactions reading a changed species are recomputed,
+    and the running total is updated by their delta.  The total is
+    re-summed exactly every :data:`RESUM_INTERVAL` steps to keep float
+    drift from the incremental updates bounded.
     """
+
+    #: steps between exact re-summations of the total propensity
+    RESUM_INTERVAL = 4096
 
     def __init__(self, network: ReactionNetwork, seed: Optional[int] = None):
         self.network = network
@@ -145,32 +233,77 @@ class FlatSimulator:
         self.time = 0.0
         self.steps = 0
         self.rng = random.Random(seed)
+        self._deps = network.reaction_dependencies()
+        self._props: list[float] = []
+        self._total = 0.0
+        self._props_valid = False
+        self._steps_since_resum = 0
 
     @property
     def model(self) -> ReactionNetwork:
         return self.network
 
+    # ------------------------------------------------------------------
+    # incremental propensity cache
+    # ------------------------------------------------------------------
+    def _recompute_propensities(self) -> None:
+        self._props = [r.propensity(self.counts)
+                       for r in self.network.reactions]
+        self._total = sum(self._props)
+        self._props_valid = True
+        self._steps_since_resum = 0
+
+    def _refresh_dependents(self, fired: int) -> None:
+        """Recompute only the propensities depending on what ``fired``
+        changed; maintain the total by their delta."""
+        counts = self.counts
+        props = self._props
+        reactions = self.network.reactions
+        delta = 0.0
+        for i in self._deps[fired]:
+            new = reactions[i].propensity(counts)
+            delta += new - props[i]
+            props[i] = new
+        self._total += delta
+        self._steps_since_resum += 1
+        if self._steps_since_resum >= self.RESUM_INTERVAL:
+            self._total = sum(props)
+            self._steps_since_resum = 0
+
+    def total_propensity(self) -> float:
+        if not self._props_valid:
+            self._recompute_propensities()
+        return self._total
+
     def step(self, t_max: float = math.inf) -> bool:
         """One SSA step; see :meth:`CWCSimulator.step` for semantics."""
-        propensities = [r.propensity(self.counts) for r in self.network.reactions]
-        total = sum(propensities)
+        if not self._props_valid:
+            self._recompute_propensities()
+        total = self._total
         if total <= 0.0:
-            if t_max < math.inf:
-                self.time = max(self.time, t_max)
-            return False
+            # incremental drift could leave a tiny negative total while
+            # some propensity is still positive: settle it exactly
+            self._recompute_propensities()
+            total = self._total
+            if total <= 0.0:
+                if t_max < math.inf:
+                    self.time = max(self.time, t_max)
+                return False
         tau = self.rng.expovariate(total)
         if self.time + tau > t_max:
             self.time = t_max
             return False
         pick = self.rng.random() * total
         acc = 0.0
-        chosen = self.network.reactions[-1]
-        for reaction, a in zip(self.network.reactions, propensities):
+        chosen = len(self._props) - 1
+        for i, a in enumerate(self._props):
             acc += a
             if pick < acc:
-                chosen = reaction
+                chosen = i
                 break
-        chosen.apply(self.counts)
+        reaction = self.network.reactions[chosen]
+        reaction.apply(self.counts)
+        self._refresh_dependents(chosen)
         self.time += tau
         self.steps += 1
         return True
@@ -208,6 +341,7 @@ class FlatSimulator:
         self.time = checkpoint["time"]
         self.steps = checkpoint["steps"]
         self.rng.setstate(checkpoint["rng"])
+        self._props_valid = False
 
     def run(self, t_end: float, sample_every: float) -> SSAResult:
         result = SSAResult(model_name=self.network.name,

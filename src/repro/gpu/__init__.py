@@ -19,7 +19,13 @@ quantum (Table I's Q/tau sensitivity).
 """
 
 from repro.gpu.device import GPUSpec, tesla_k40
-from repro.gpu.simt import SimtDevice, KernelStats, simulate_gpu_run, GpuRunStats
+from repro.gpu.simt import (
+    GpuRunStats,
+    KernelStats,
+    SimtDevice,
+    simulate_gpu_run,
+    simulate_gpu_run_ssa,
+)
 from repro.gpu.map_cuda import MapCUDANode
 from repro.gpu.stencil_reduce import stencil_reduce
 from repro.gpu.workflow import GpuWorkflowResult, run_gpu_workflow
@@ -30,6 +36,7 @@ __all__ = [
     "SimtDevice",
     "KernelStats",
     "simulate_gpu_run",
+    "simulate_gpu_run_ssa",
     "GpuRunStats",
     "MapCUDANode",
     "stencil_reduce",

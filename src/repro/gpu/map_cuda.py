@@ -10,6 +10,14 @@ of simulations as a FastFlow stream, splitting them in successive quanta
 and implementing a load re-balancing strategy after the computation of
 each quantum".
 
+A block is either a list of scalar
+:class:`~repro.sim.task.SimulationTask` objects (one Python kernel call
+per thread) or one :class:`~repro.sim.task.BatchSimulationTask` (the NumPy
+lockstep engine advances the whole block in a single vectorized kernel --
+the faithful rendering of the paper's CUDA kernel, where one launch
+advances every instance by a quantum).  Either way the per-thread work
+fed to the warp timing model is *measured* from the real execution.
+
 FastFlow's Unified-Memory story maps to: tasks are ordinary Python
 objects, no manual serialisation is needed to cross the host/device
 boundary, and the model charges a per-byte unified-memory migration cost
@@ -18,17 +26,21 @@ per quantum.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 from repro.ff.node import GO_ON, Node
 from repro.gpu.simt import SimtDevice
-from repro.sim.task import QuantumResult, SimulationTask
+from repro.sim.task import BatchSimulationTask, QuantumResult, SimulationTask
+
+#: modeled unified-memory traffic per task per quantum, in bytes
+TASK_MESSAGE_BYTES = 2048.0
 
 
 class MapCUDANode(Node):
     """Farm-worker-like node offloading blocks of tasks to one device.
 
-    Input: a list of :class:`~repro.sim.task.SimulationTask` (a block).
+    Input: a list of :class:`~repro.sim.task.SimulationTask` or one
+    :class:`~repro.sim.task.BatchSimulationTask` (a block).
     Output: every :class:`~repro.sim.task.QuantumResult` of the block's
     quantum, followed by feedback of the (still incomplete) block.
     """
@@ -41,7 +53,50 @@ class MapCUDANode(Node):
         self.blocks_processed = 0
         self._last_cost: dict[int, float] = {}
 
-    def svc(self, block: Sequence[SimulationTask]):
+    def svc(self, block: Union[Sequence[SimulationTask],
+                               BatchSimulationTask]):
+        if isinstance(block, BatchSimulationTask):
+            return self._svc_batch(block)
+        return self._svc_scalar(block)
+
+    def _svc_batch(self, block: BatchSimulationTask):
+        """One vectorized kernel advances the whole lockstep batch."""
+        if block.done:
+            return GO_ON
+        steps_before = block.steps_by_trajectory.copy()
+        # warp re-grouping: order threads by their previous-quantum cost
+        # so similar-cost trajectories share a warp
+        if self.rebalance and self._last_cost:
+            order = sorted(
+                range(block.n),
+                key=lambda i: self._last_cost.get(block.task_ids[i], 0.0))
+        else:
+            order = list(range(block.n))
+
+        def kernel(batch: BatchSimulationTask) -> list[QuantumResult]:
+            return batch.run_quantum()
+
+        def work_of(batch: BatchSimulationTask, _results) -> list[float]:
+            per_thread = batch.steps_by_trajectory - steps_before
+            return [float(per_thread[i]) for i in order]
+
+        results, _stats = self.device.launch_map_batched(
+            kernel, block, work_of,
+            bytes_moved=block.n * TASK_MESSAGE_BYTES)
+        per_thread = block.steps_by_trajectory - steps_before
+        for i, task_id in enumerate(block.task_ids):
+            self._last_cost[task_id] = float(per_thread[i])
+        for result in results:
+            if result.samples or result.done:
+                self.ff_send_out(result)
+        self.blocks_processed += 1
+        if self.has_feedback:
+            self.send_feedback(block)
+        elif not block.done:
+            return self._svc_batch(block)
+        return GO_ON
+
+    def _svc_scalar(self, block: Sequence[SimulationTask]):
         tasks = [t for t in block if not t.done]
         if not tasks:
             return GO_ON

@@ -12,18 +12,28 @@ model, not a functional mock) and computes the modeled kernel duration:
 4. the kernel lasts until the last warp retires, plus launch overhead
    and unified-memory traffic.
 
-``simulate_gpu_run`` runs the whole Table I experiment on the workload
-cost model only (no real SSA), with optional inter-quantum re-balancing:
-sorting simulations by their current cost rate before regrouping into
-warps, which is exactly the CWC load re-balancing strategy the paper
-credits for the GPU result.
+``SimtDevice.launch_map_batched`` is the vectorized variant: one callable
+advances a whole lockstep batch at once (the NumPy batch SSA engine,
+:mod:`repro.cwc.batch`) and reports per-thread work, so functional
+execution is itself SIMT-shaped instead of a per-item Python loop.
+
+Two whole-run drivers reproduce the Table I experiment:
+
+* ``simulate_gpu_run`` on the workload cost model only (no real SSA);
+* ``simulate_gpu_run_ssa`` on *real* stochastic simulation: a batched SSA
+  engine advances every trajectory quantum by quantum, and the measured
+  per-trajectory step counts feed the warp timing model.
+
+Both support the inter-quantum re-balancing strategy: sorting simulations
+by their previous-quantum cost before regrouping into warps, which is
+exactly the CWC load re-balancing the paper credits for the GPU result.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.gpu.device import GPUSpec
 from repro.perfsim.workload import TrajectoryWorkload
@@ -89,6 +99,24 @@ class SimtDevice:
             work.append(work_of(item, result))
         stats = self._timing(work, bytes_moved)
         return results, stats
+
+    def launch_map_batched(self, kernel: Callable[[Any], Any],
+                           batch: Any,
+                           work_of: Callable[[Any, Any], Sequence[float]],
+                           bytes_moved: float = 0.0
+                           ) -> tuple[Any, KernelStats]:
+        """Execute one *batched* kernel; model its duration.
+
+        ``kernel(batch)`` advances every thread of the batch at once (e.g.
+        one vectorized SSA quantum over a
+        :class:`~repro.sim.task.BatchSimulationTask`);
+        ``work_of(batch, result)`` reports the per-thread work units
+        measured from that real execution.  Returns ``(result, stats)``.
+        """
+        result = kernel(batch)
+        work = [float(w) for w in work_of(batch, result)]
+        stats = self._timing(work, bytes_moved)
+        return result, stats
 
     def launch_modeled(self, work: Sequence[float],
                        bytes_moved: float = 0.0) -> KernelStats:
@@ -169,3 +197,67 @@ def simulate_gpu_run(workload: TrajectoryWorkload, device: SimtDevice,
     return GpuRunStats(total_time=total, n_kernels=workload.n_quanta,
                        mean_divergence_ratio=mean_div,
                        collection_time=collection)
+
+
+def simulate_gpu_run_ssa(network: Any, device: SimtDevice,
+                         n_trajectories: int, t_end: float, quantum: float,
+                         rebalance: bool = True,
+                         seed: Optional[int] = 0,
+                         task_message_size: float = 2048.0,
+                         collection_cost_per_sim: float = 0.5e-6
+                         ) -> tuple[GpuRunStats, "BatchFlatSimulator"]:
+    """The Table I experiment on *real* SSA (see module docstring).
+
+    A :class:`~repro.cwc.batch.BatchFlatSimulator` advances all
+    ``n_trajectories`` of ``network`` (a flat
+    :class:`~repro.cwc.network.ReactionNetwork` or compartment-free model)
+    one quantum per kernel; each kernel's per-thread work is the *measured*
+    SSA step count of that trajectory during the quantum.  With
+    ``rebalance``, threads are regrouped into warps by their
+    previous-quantum cost before timing.  Returns ``(stats, batch)`` so
+    callers can inspect the final trajectory states.
+    """
+    from repro.cwc.batch import batch_simulator
+
+    batch = batch_simulator(network, n_trajectories, seed=seed)
+    n = n_trajectories
+    order = list(range(n))
+    previous_cost = [0.0] * n
+    total = 0.0
+    collection = 0.0
+    divergence_ratios = []
+    n_kernels = 0
+    time_now = 0.0
+    while time_now < t_end - 1e-12:
+        target = min(time_now + quantum, t_end)
+        if rebalance and n_kernels > 0:
+            order.sort(key=lambda i: previous_cost[i])
+
+        steps_before = batch.steps.copy()
+
+        def kernel(b):
+            return b.advance(target - time_now)
+
+        def work_of(b, _result):
+            per_thread = b.steps - steps_before
+            return [float(per_thread[i]) for i in order]
+
+        _, stats = device.launch_map_batched(
+            kernel, batch, work_of,
+            bytes_moved=n * task_message_size)
+        total += stats.duration
+        divergence_ratios.append(stats.divergence_ratio)
+        collect = n * collection_cost_per_sim
+        collection += collect
+        total += collect
+        per_thread = batch.steps - steps_before
+        for i in range(n):
+            previous_cost[i] = float(per_thread[i])
+        n_kernels += 1
+        time_now = target
+    mean_div = (sum(divergence_ratios) / len(divergence_ratios)
+                if divergence_ratios else 0.0)
+    stats = GpuRunStats(total_time=total, n_kernels=n_kernels,
+                        mean_divergence_ratio=mean_div,
+                        collection_time=collection)
+    return stats, batch

@@ -15,7 +15,7 @@ map kernel + one reduce kernel per iteration).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.gpu.simt import SimtDevice
 
@@ -26,12 +26,18 @@ def stencil_reduce(device: SimtDevice,
                    reduce_fn: Callable[[Any, Any], Any],
                    until: Callable[[Any, int], bool],
                    max_iterations: int = 1000,
-                   work_per_cell: float = 1.0
+                   work_per_cell: float = 1.0,
+                   stencil_all: Optional[
+                       Callable[[Sequence[Any]], Sequence[Any]]] = None
                    ) -> tuple[list[Any], Any, int]:
     """Iterate stencil+reduce on ``device`` until convergence.
 
     ``stencil(grid, i)`` computes the new value of cell ``i`` from the
     current grid (the neighbourhood access pattern is up to the caller).
+    ``stencil_all(grid)``, when given, computes the *whole* new grid in
+    one vectorized call (e.g. a NumPy expression) and is executed through
+    the device's batched-kernel path -- same timing model, one Python
+    call per map kernel instead of one per cell.
     Returns ``(final_grid, final_reduction, iterations)``.
     """
     if not grid:
@@ -41,10 +47,15 @@ def stencil_reduce(device: SimtDevice,
     reduced: Any = None
     while iteration < max_iterations:
         iteration += 1
-        indices = range(len(current))
-        new_values, _ = device.launch_map(
-            lambda i: stencil(current, i), list(indices),
-            lambda _i, _v: work_per_cell)
+        if stencil_all is not None:
+            new_values, _ = device.launch_map_batched(
+                lambda cells: list(stencil_all(cells)), current,
+                lambda cells, _result: [work_per_cell] * len(cells))
+        else:
+            indices = range(len(current))
+            new_values, _ = device.launch_map(
+                lambda i: stencil(current, i), list(indices),
+                lambda _i, _v: work_per_cell)
         current = new_values
         # reduce kernel: tree reduction, log-depth; modeled as one kernel
         # whose per-thread work is ~log2(n)

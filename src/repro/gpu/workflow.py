@@ -35,11 +35,22 @@ from repro.gpu.simt import SimtDevice
 from repro.pipeline.builder import WorkflowResult, _CutTee
 from repro.pipeline.config import WorkflowConfig
 from repro.sim.alignment import TrajectoryAligner
-from repro.sim.task import SimulationTask, make_tasks
+from repro.sim.task import (
+    BatchSimulationTask,
+    SimulationTask,
+    make_batch_tasks,
+    make_tasks,
+)
 
 
 class BlockGenerator(SourceNode):
-    """Generate the simulation tasks and group them into device blocks."""
+    """Generate the simulation tasks and group them into device blocks.
+
+    With ``engine="batch"`` each block *is* one
+    :class:`~repro.sim.task.BatchSimulationTask` (the vectorized lockstep
+    engine, advanced by a single kernel per quantum); otherwise a block is
+    a list of scalar tasks.
+    """
 
     def __init__(self, model: Union[Model, ReactionNetwork],
                  config: WorkflowConfig, block_size: int,
@@ -50,6 +61,12 @@ class BlockGenerator(SourceNode):
         self.block_size = block_size
 
     def generate(self):
+        if self.config.engine == "batch":
+            yield from make_batch_tasks(
+                self.model, self.config.n_simulations, self.config.t_end,
+                self.config.quantum, self.config.sample_every,
+                seed=self.config.seed, batch_size=self.block_size)
+            return
         tasks = make_tasks(
             self.model, self.config.n_simulations, self.config.t_end,
             self.config.quantum, self.config.sample_every,
@@ -67,8 +84,9 @@ class BlockEmitter(MasterWorkerEmitter):
         self._device_of: dict[int, int] = {}
         self._next = 0
 
-    def _route(self, block: Sequence[SimulationTask]) -> ToWorker:
-        key = block[0].task_id
+    def _route(self, block) -> ToWorker:
+        key = (block.task_ids[0] if isinstance(block, BatchSimulationTask)
+               else block[0].task_id)
         device = self._device_of.get(key)
         if device is None:
             device = self._next
@@ -76,7 +94,9 @@ class BlockEmitter(MasterWorkerEmitter):
             self._device_of[key] = device
         return ToWorker(device, block)
 
-    def is_complete(self, block: Sequence[SimulationTask]) -> bool:
+    def is_complete(self, block) -> bool:
+        if isinstance(block, BatchSimulationTask):
+            return block.done
         return all(task.done for task in block)
 
     def on_task(self, block) -> ToWorker:

@@ -30,7 +30,8 @@ class WorkflowConfig:
     filter_width: Optional[int] = None
     histogram_bins: Optional[int] = None
     seed: Optional[int] = 0
-    engine: str = "auto"          # "flat" | "cwc" | "auto"
+    engine: str = "auto"          # "flat" | "cwc" | "auto" | "batch"
+    batch_size: int = 64          # trajectories per block (engine="batch")
     scheduling: str = "ondemand"  # farm dispatch policy
     backend: str = "threads"      # "threads" | "sequential"
     keep_cuts: bool = False       # retain raw cuts (memory!) for examples
@@ -38,6 +39,8 @@ class WorkflowConfig:
     def __post_init__(self) -> None:
         if self.n_simulations < 1:
             raise ValueError("n_simulations must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         if self.t_end <= 0 or self.sample_every <= 0 or self.quantum <= 0:
             raise ValueError("t_end, sample_every, quantum must be > 0")
         if self.n_sim_workers < 1 or self.n_stat_workers < 1:

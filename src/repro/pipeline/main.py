@@ -54,8 +54,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         metavar="BINS",
                         help="per-observable population histograms")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--engine", choices=("auto", "flat", "cwc"),
+    parser.add_argument("--engine", choices=("auto", "flat", "cwc", "batch"),
                         default="auto")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="trajectories per lockstep block "
+                             "(--engine batch)")
     parser.add_argument("--backend", choices=("threads", "sequential"),
                         default="threads")
     parser.add_argument("--quiet", action="store_true",
@@ -73,8 +76,8 @@ def main(argv: list[str] | None = None) -> int:
         window_size=args.window, window_slide=args.slide,
         kmeans_k=args.kmeans, filter_width=args.filter_width,
         histogram_bins=args.histogram,
-        seed=args.seed, engine=args.engine, backend=args.backend,
-        keep_cuts=True)
+        seed=args.seed, engine=args.engine, batch_size=args.batch_size,
+        backend=args.backend, keep_cuts=True)
 
     def on_progress(event: ProgressEvent) -> None:
         if args.quiet:

@@ -6,7 +6,13 @@ load balancing) -> *alignment of trajectories* (sorting quantum results
 into time-aligned cuts ready for on-line analysis).
 """
 
-from repro.sim.task import SimulationTask, QuantumResult, make_tasks
+from repro.sim.task import (
+    BatchSimulationTask,
+    QuantumResult,
+    SimulationTask,
+    make_batch_tasks,
+    make_tasks,
+)
 from repro.sim.trajectory import Cut, Trajectory, assemble_trajectories
 from repro.sim.engine import SimEngineNode
 from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
@@ -14,8 +20,10 @@ from repro.sim.alignment import TrajectoryAligner
 
 __all__ = [
     "SimulationTask",
+    "BatchSimulationTask",
     "QuantumResult",
     "make_tasks",
+    "make_batch_tasks",
     "Cut",
     "Trajectory",
     "assemble_trajectories",

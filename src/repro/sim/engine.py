@@ -1,15 +1,19 @@
 """The *simulation engine* farm worker (the paper's ``sim eng`` boxes).
 
-Each engine receives a :class:`~repro.sim.task.SimulationTask`, brings it
-forward by exactly one simulation quantum, streams the produced samples
-downstream (towards trajectory alignment) and reschedules the task back to
-the emitter along the farm's feedback channel.
+Each engine receives a :class:`~repro.sim.task.SimulationTask` (or a
+:class:`~repro.sim.task.BatchSimulationTask` covering a whole block of
+lockstep trajectories), brings it forward by exactly one simulation
+quantum, streams the produced samples downstream (towards trajectory
+alignment) and reschedules the task back to the emitter along the farm's
+feedback channel.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 from repro.ff.node import GO_ON, Node
-from repro.sim.task import SimulationTask
+from repro.sim.task import BatchSimulationTask, SimulationTask
 
 
 class SimEngineNode(Node):
@@ -20,12 +24,15 @@ class SimEngineNode(Node):
         self.quanta_executed = 0
         self.steps_executed = 0
 
-    def svc(self, task: SimulationTask):
+    def svc(self, task: Union[SimulationTask, BatchSimulationTask]):
         steps_before = task.steps
-        result = task.run_quantum()
+        outcome = task.run_quantum()
         self.quanta_executed += 1
         self.steps_executed += task.steps - steps_before
-        if result.samples or result.done:
-            self.ff_send_out(result)
+        # a batch task yields one QuantumResult per member trajectory
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            if result.samples or result.done:
+                self.ff_send_out(result)
         self.send_feedback(task)
         return GO_ON

@@ -30,7 +30,8 @@ class TaskGenerator(SourceNode):
     def __init__(self, model: Union[Model, ReactionNetwork],
                  n_simulations: int, t_end: float, quantum: float,
                  sample_every: float, seed: Optional[int] = 0,
-                 engine: str = "auto", name: str = "task-gen"):
+                 engine: str = "auto", batch_size: int = 64,
+                 name: str = "task-gen"):
         super().__init__(name=name)
         if n_simulations < 1:
             raise ValueError(f"need >= 1 simulation, got {n_simulations}")
@@ -41,11 +42,13 @@ class TaskGenerator(SourceNode):
         self.sample_every = sample_every
         self.seed = seed
         self.engine = engine
+        self.batch_size = batch_size
 
     def generate(self) -> Iterable[SimulationTask]:
         return iter(make_tasks(self.model, self.n_simulations, self.t_end,
                                self.quantum, self.sample_every,
-                               seed=self.seed, engine=self.engine))
+                               seed=self.seed, engine=self.engine,
+                               batch_size=self.batch_size))
 
 
 class SimTaskEmitter(MasterWorkerEmitter):

@@ -1,4 +1,4 @@
-"""Simulation tasks: one stochastic trajectory, executed quantum by quantum.
+"""Simulation tasks: stochastic trajectories, executed quantum by quantum.
 
 Each task wraps a simulator instance (either engine: CWC tree terms or the
 flat fast path) plus its progress bookkeeping.  ``run_quantum`` advances
@@ -6,6 +6,14 @@ the trajectory by one *simulation quantum* (a fixed amount of simulated
 time) and returns the observable samples that fell inside the quantum, on
 the global sampling grid -- the stream the paper calls *raw simulation
 results*.
+
+:class:`BatchSimulationTask` is the batched variant: one task owns a whole
+block of trajectories advanced in lockstep by the NumPy engine
+(:class:`~repro.cwc.batch.BatchFlatSimulator`); its ``run_quantum``
+returns one :class:`QuantumResult` *per member*, so the downstream
+alignment stage is oblivious to how trajectories were grouped.  This is
+the dispatch granularity the paper uses for its GPU offload (blocks of
+simulations as stream items).
 
 Tasks are ordinary picklable objects, so they can cross process and
 (simulated) network boundaries -- the distributed simulator serialises
@@ -15,8 +23,11 @@ exactly these.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
+import numpy as np
+
+from repro.cwc.batch import BatchFlatSimulator, CompiledNetwork
 from repro.cwc.gillespie import CWCSimulator
 from repro.cwc.model import Model
 from repro.cwc.network import FlatSimulator, ReactionNetwork
@@ -103,24 +114,145 @@ class SimulationTask:
                 f"{self.t_end:g}>")
 
 
+class BatchSimulationTask:
+    """A block of lockstep trajectories simulated up to ``t_end``.
+
+    Mirrors :class:`SimulationTask` (``run_quantum``, ``done``, ``steps``)
+    but over a whole :class:`~repro.cwc.batch.BatchFlatSimulator`;
+    ``run_quantum`` returns a *list* of per-member
+    :class:`QuantumResult` objects carrying the member task ids.
+    """
+
+    def __init__(self, task_ids: Sequence[int], batch: BatchFlatSimulator,
+                 t_end: float, quantum: float, sample_every: float):
+        if quantum <= 0 or sample_every <= 0 or t_end <= 0:
+            raise ValueError("t_end, quantum and sample_every must be > 0")
+        if len(task_ids) != batch.n:
+            raise ValueError(
+                f"{len(task_ids)} task ids for {batch.n} trajectories")
+        self.task_ids = tuple(task_ids)
+        self.batch = batch
+        self.t_end = t_end
+        self.quantum = quantum
+        self.sample_every = sample_every
+        self._next_grid = 0  # shared: members advance in lockstep
+
+    @property
+    def n(self) -> int:
+        return self.batch.n
+
+    @property
+    def time(self) -> float:
+        return self.batch.time
+
+    @property
+    def steps(self) -> int:
+        """Total SSA steps across the block (for cost accounting)."""
+        return self.batch.total_steps
+
+    @property
+    def steps_by_trajectory(self) -> np.ndarray:
+        return self.batch.steps
+
+    @property
+    def done(self) -> bool:
+        return bool((self.batch.times >= self.t_end - 1e-12).all())
+
+    @property
+    def n_samples_total(self) -> int:
+        return int(round(self.t_end / self.sample_every)) + 1
+
+    def run_quantum(self) -> list[QuantumResult]:
+        """Advance the whole block by one quantum and sample on the grid.
+
+        The block is driven from grid point to grid point (one vectorized
+        ``advance_to`` per grid crossing), exactly like the scalar task.
+        """
+        if self.done:
+            return [QuantumResult(task_id, [], float(self.batch.times[i]),
+                                  int(self.batch.steps[i]), True)
+                    for i, task_id in enumerate(self.task_ids)]
+        target = min(self.time + self.quantum, self.t_end)
+        samples: list[list[tuple[int, float, tuple[float, ...]]]] = [
+            [] for _ in range(self.n)]
+        while True:
+            grid_time = self._next_grid * self.sample_every
+            if grid_time > target + 1e-12:
+                break
+            if grid_time > self.time:
+                self.batch.advance_to(np.full(self.n, grid_time))
+            values = self.batch.observe_all().tolist()  # plain floats
+            for i in range(self.n):
+                samples[i].append((self._next_grid, grid_time,
+                                   tuple(values[i])))
+            self._next_grid += 1
+            if grid_time >= self.t_end - 1e-12:
+                break
+        if self.time < target:
+            self.batch.advance_to(np.full(self.n, target))
+        done = self.done
+        return [QuantumResult(task_id, samples[i],
+                              float(self.batch.times[i]),
+                              int(self.batch.steps[i]), done)
+                for i, task_id in enumerate(self.task_ids)]
+
+    def __repr__(self) -> str:
+        return (f"<BatchSimulationTask ids={self.task_ids[0]}.."
+                f"{self.task_ids[-1]} t={self.time:.3g}/{self.t_end:g}>")
+
+
 def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
                t_end: float, quantum: float, sample_every: float,
                seed: Optional[int] = 0,
-               engine: str = "auto") -> list[SimulationTask]:
-    """Create ``n_simulations`` independent tasks for ``model``.
+               engine: str = "auto",
+               batch_size: int = 64) -> list[SimulationTask]:
+    """Create tasks covering ``n_simulations`` trajectories of ``model``.
 
     ``engine`` selects the simulator: ``"flat"`` (plain Gillespie; requires
     a :class:`ReactionNetwork` or a compartment-free model), ``"cwc"``
-    (tree-term engine) or ``"auto"`` (flat when possible).  Seeds are
-    derived as ``seed + task_id`` so runs are reproducible and trajectories
-    independent.
+    (tree-term engine), ``"auto"`` (flat when possible) or ``"batch"``
+    (the NumPy lockstep engine: trajectories are grouped into
+    :class:`BatchSimulationTask` blocks of ``batch_size``).  Seeds are
+    derived as ``seed + task_id`` (per block for ``"batch"``) so runs are
+    reproducible and trajectories independent.
     """
+    if engine == "batch":
+        return make_batch_tasks(model, n_simulations, t_end, quantum,
+                                sample_every, seed=seed,
+                                batch_size=batch_size)
     tasks = []
     for task_id in range(n_simulations):
         task_seed = None if seed is None else seed + task_id
         simulator = _make_simulator(model, engine, task_seed)
         tasks.append(SimulationTask(task_id, simulator, t_end, quantum,
                                     sample_every))
+    return tasks
+
+
+def make_batch_tasks(model: Union[Model, ReactionNetwork],
+                     n_simulations: int, t_end: float, quantum: float,
+                     sample_every: float, seed: Optional[int] = 0,
+                     batch_size: int = 64) -> list[BatchSimulationTask]:
+    """Group ``n_simulations`` trajectories into lockstep batch tasks.
+
+    The network is compiled once and shared by every block (the compiled
+    matrices are immutable); each block draws from its own generator seeded
+    ``seed + first_task_id`` for reproducibility.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if isinstance(model, ReactionNetwork):
+        network = model
+    else:
+        network = ReactionNetwork.from_model(model)
+    compiled = CompiledNetwork(network)
+    tasks = []
+    for base in range(0, n_simulations, batch_size):
+        ids = range(base, min(base + batch_size, n_simulations))
+        block_seed = None if seed is None else seed + base
+        batch = BatchFlatSimulator(compiled, len(ids), seed=block_seed)
+        tasks.append(BatchSimulationTask(ids, batch, t_end, quantum,
+                                         sample_every))
     return tasks
 
 

@@ -108,6 +108,59 @@ class TestFlatSimulator:
         assert not simulator.step()
 
 
+class TestDependencyGraph:
+    def test_self_dependency(self):
+        """Every reaction that changes state invalidates at least its own
+        propensity."""
+        net = ReactionNetwork("n", {"a": 5, "b": 0},
+                              [Reaction.make("r", "a", "b", 1.0)])
+        deps = net.reaction_dependencies()
+        assert 0 in deps[0]
+
+    def test_catalyst_only_reaction_triggers_nothing(self):
+        """A reaction with zero net change (pure catalysis) has an empty
+        dependent set -- firing it cannot move any propensity."""
+        net = ReactionNetwork(
+            "cat", {"e": 3, "s": 10},
+            [Reaction.make("noop", "e", "e", 1.0),
+             Reaction.make("use", "s", "", 1.0)])
+        deps = net.reaction_dependencies()
+        assert deps[0] == ()
+        assert deps[1] == (1,)
+
+    def test_opaque_rate_reads_everything(self):
+        net = ReactionNetwork(
+            "opaque", {"a": 5, "b": 5},
+            [Reaction.make("fa", "a", "", lambda s: 1.0),
+             Reaction.make("fb", "b", "b b", 2.0)])
+        deps = net.reaction_dependencies()
+        # the opaque-rated reaction depends on anything changing state
+        assert 0 in deps[1]
+
+    @pytest.mark.parametrize("maker_name", [
+        "toggle_switch_network", "lotka_volterra_network"])
+    def test_partial_updates_equal_full_recompute(self, maker_name):
+        """Property test for the incremental propensity cache: after every
+        fired reaction, the partially updated propensities and the running
+        total must match a full recomputation."""
+        import repro.models as models
+        net = getattr(models, maker_name)()
+        sim = FlatSimulator(net, seed=13)
+        for _ in range(500):
+            if not sim.step(t_max=1e9):
+                break
+            full = [r.propensity(sim.counts) for r in net.reactions]
+            assert sim._props == pytest.approx(full)
+            assert sim._total == pytest.approx(sum(full))
+
+    def test_total_propensity_matches_sum(self, neurospora_small):
+        sim = FlatSimulator(neurospora_small, seed=14)
+        sim.advance(1.0)
+        full = sum(r.propensity(sim.counts)
+                   for r in neurospora_small.reactions)
+        assert sim.total_propensity() == pytest.approx(full)
+
+
 class TestEngineAgreement:
     def test_flat_and_cwc_agree_on_means(self, dimer_model):
         """Both engines must sample the same stochastic process: compare

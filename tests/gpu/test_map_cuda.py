@@ -76,6 +76,63 @@ class TestMapCUDAFunctional:
         assert node.svc([]) is GO_ON
 
 
+class TestMapCUDABatchBlocks:
+    """The batched kernel path: one BatchSimulationTask per stream item."""
+
+    def _workflow(self, network, n, t_end, quantum, sample_every, seed):
+        from repro.gpu.workflow import BlockEmitter
+        from repro.sim.task import make_batch_tasks
+        device = SimtDevice(tesla_k40(), step_cost=1e-6)
+        tasks = make_batch_tasks(network, n, t_end, quantum, sample_every,
+                                 seed=seed, batch_size=n)
+        farm = Farm([MapCUDANode(device)], emitter=BlockEmitter(n_devices=1),
+                    collector=TrajectoryAligner(n), feedback=True)
+        cuts = run(Pipeline([tasks, farm]), backend="sequential")
+        return cuts, device
+
+    def test_all_cuts_produced(self, neurospora_small):
+        n = 4
+        cuts, device = self._workflow(
+            neurospora_small, n, 6.0, quantum=1.5, sample_every=0.5, seed=1)
+        assert [c.grid_index for c in cuts] == list(range(13))
+        assert all(len(c.values) == n for c in cuts)
+        assert device.kernels_launched > 0
+
+    def test_one_kernel_per_quantum(self, neurospora_small):
+        _cuts, device = self._workflow(
+            neurospora_small, 4, 4.0, quantum=1.0, sample_every=1.0, seed=0)
+        assert device.kernels_launched == 4
+
+    def test_batch_local_loop_without_feedback(self, neurospora_small):
+        from repro.sim.task import make_batch_tasks
+        device = SimtDevice(tesla_k40(), step_cost=1e-6)
+        node = MapCUDANode(device)
+        block = make_batch_tasks(neurospora_small, 2, 3.0, 1.0, 1.0,
+                                 seed=0, batch_size=2)[0]
+        collected = []
+
+        class _Out:
+            def send(self, item):
+                collected.append(item)
+
+        node._outbox = _Out()
+        node.svc(block)
+        assert block.done
+        grids = sorted(g for r in collected for g, _t, _v in r.samples)
+        assert grids == sorted(list(range(4)) * 2)
+
+    def test_launch_map_batched_stats(self, neurospora_small):
+        from repro.cwc.batch import BatchFlatSimulator
+        device = SimtDevice(tesla_k40(), step_cost=1e-6)
+        batch = BatchFlatSimulator(neurospora_small, 8, seed=3)
+        result, stats = device.launch_map_batched(
+            lambda b: b.advance(1.0), batch,
+            lambda b, _r: [float(s) for s in b.steps])
+        assert stats.n_items == 8
+        assert stats.duration > 0
+        assert device.kernels_launched == 1
+
+
 class TestStencilReduce:
     def test_heat_diffusion_converges(self):
         from repro.gpu.stencil_reduce import stencil_reduce
