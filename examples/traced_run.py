@@ -1,0 +1,57 @@
+"""A traced workflow run: where does the time go?
+
+Run with::
+
+    python examples/traced_run.py [report.json]
+
+Runs the Neurospora simulation-analysis workflow with runtime tracing
+enabled and prints the run report: per-node service times, channel
+occupancy and backpressure, and a bottleneck diagnosis (slowest stage,
+most saturated queue, farm worker imbalance).  This is the repo's
+equivalent of profiling a FastFlow graph: the paper tunes its farm
+(Fig. 3) by finding exactly these numbers -- which stage saturates
+first and how evenly the simulation workers are loaded.
+
+If a path is given, the JSON report is also written there (the same
+artifact CI archives next to the benchmark JSON).
+"""
+
+import sys
+
+from repro.models import neurospora_network
+from repro.pipeline import WorkflowConfig, run_workflow
+
+
+def main(report_path: str | None = None) -> None:
+    network = neurospora_network(omega=50)
+    config = WorkflowConfig(
+        n_simulations=8, t_end=24.0, sample_every=0.5, quantum=2.0,
+        n_sim_workers=4, n_stat_workers=2, window_size=12, seed=7,
+        trace=True, trace_report_path=report_path)
+
+    result = run_workflow(network, config)
+    report = result.trace_report
+
+    print(f"{result.n_windows} windows from {config.n_simulations} "
+          f"trajectories\n")
+    print(report.to_text())
+
+    bn = report.bottleneck()
+    stage = bn["slowest_stage"]
+    print(f"\nslowest stage: {stage['name']} "
+          f"({stage['busy_s']:.3f}s of service time)")
+    if bn["farm_imbalance"] is not None:
+        imb = bn["farm_imbalance"]
+        print(f"farm {imb['farm']!r}: {imb['n_workers']} workers, "
+              f"{imb['imbalance'] * 100:.0f}% load imbalance")
+    print(f"\nsimulation counters: "
+          f"{report.counters.get('sim.steps', 0):,} SSA steps in "
+          f"{report.counters.get('sim.quanta', 0)} quanta, "
+          f"{report.counters.get('sim.trajectories_retired', 0)} "
+          f"trajectories retired")
+    if report_path:
+        print(f"\nJSON report written to {report_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -70,6 +70,9 @@ class StatEngineNode(Node):
         self.kmeans_seed = kmeans_seed
         self.windows_processed = 0
 
+    def svc_init(self) -> None:
+        self.windows_processed = 0
+
     def svc(self, window: Window) -> WindowStatistics:
         stats = [cut_statistics(cut) for cut in window.cuts]
         result = WindowStatistics(
@@ -106,6 +109,10 @@ class GatherNode(Node):
         super().__init__(name=name)
         self.results_gathered = 0
         self.latest: Optional[WindowStatistics] = None
+
+    def svc_init(self) -> None:
+        self.results_gathered = 0
+        self.latest = None
 
     def svc(self, stats: WindowStatistics) -> WindowStatistics:
         self.results_gathered += 1

@@ -70,6 +70,15 @@ class SlidingWindowNode(Node):
         self._since_last_emit = 0
         self._saw_any = False
 
+    def svc_init(self) -> None:
+        # Reset per-run state: without this, a second run of the same
+        # structure would continue window indices and leak buffered cuts
+        # from the previous stream.
+        self._buffer.clear()
+        self._emitted = 0
+        self._since_last_emit = 0
+        self._saw_any = False
+
     def svc(self, cut: Cut):
         self._buffer.append(cut)
         self._saw_any = True

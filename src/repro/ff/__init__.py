@@ -20,14 +20,21 @@ The GPU-oriented ``stencilReduce`` core pattern lives in
 :mod:`repro.gpu.stencil_reduce` next to the SIMT device model it targets.
 """
 
-from repro.ff.errors import FFError, GraphError, QueueClosedError
+from repro.ff.errors import (
+    FFError,
+    GraphError,
+    MultiNodeError,
+    NodeError,
+    QueueClosedError,
+)
 from repro.ff.node import EOS, GO_ON, Emit, Node, FunctionNode, SourceNode, SinkNode
 from repro.ff.pipeline import Pipeline
 from repro.ff.farm import Farm, MasterWorkerEmitter
-from repro.ff.queues import Channel
+from repro.ff.queues import Channel, ChannelStats
 from repro.ff.executor import run, SequentialExecutor, ThreadedExecutor
 from repro.ff.accelerator import Accelerator
 from repro.ff.describe import describe
+from repro.ff.trace import RunReport, Tracer
 from repro.ff.patterns import (
     parallel_for,
     pmap,
@@ -39,6 +46,8 @@ from repro.ff.patterns import (
 __all__ = [
     "FFError",
     "GraphError",
+    "MultiNodeError",
+    "NodeError",
     "QueueClosedError",
     "EOS",
     "GO_ON",
@@ -51,6 +60,9 @@ __all__ = [
     "Farm",
     "MasterWorkerEmitter",
     "Channel",
+    "ChannelStats",
+    "RunReport",
+    "Tracer",
     "run",
     "SequentialExecutor",
     "ThreadedExecutor",

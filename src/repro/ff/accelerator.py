@@ -21,19 +21,26 @@ after ``collect()`` raise.
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Optional
 
-from repro.ff.errors import FFError, GraphError, NodeError
-from repro.ff.executor import _Runner
+from repro.ff.errors import (
+    FFError,
+    GraphError,
+    NodeError,
+    aggregate_node_errors,
+)
+from repro.ff.executor import _Runner, _thread_body
 from repro.ff.graph import Graph
 from repro.ff.pipeline import Pipeline
 from repro.ff.queues import EOS, GroupDone
+from repro.ff.trace import Tracer
 
 
 class Accelerator:
     """Run a structure on background threads, feeding it by hand."""
 
-    def __init__(self, structure, capacity: int = 512):
+    def __init__(self, structure, capacity: int = 512,
+                 trace: Optional[Tracer] = None):
         if isinstance(structure, Pipeline):
             pipeline = structure
         else:
@@ -55,6 +62,10 @@ class Accelerator:
         self._input.register_producer()
         pipeline.expand(self._graph, self._input,
                         self._graph.result_channel, capacity)
+        self._trace = trace
+        if trace is not None:
+            for ch in self._graph.channels:
+                ch._trace = trace.channel(ch)
         self._errors: list[NodeError] = []
         self._errors_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
@@ -67,26 +78,17 @@ class Accelerator:
             raise FFError("accelerator already started")
         self._started = True
 
-        def body(runner: _Runner) -> None:
-            try:
-                runner.start()
-                while True:
-                    item = runner.rt.in_channel.pop()
-                    if runner.process(item):
-                        runner.finish(abandon_input=item is not EOS)
-                        break
-            except BaseException as exc:  # noqa: BLE001
-                with self._errors_lock:
-                    self._errors.append(NodeError(runner.node.name, exc))
-                try:
-                    runner.finish(abandon_input=True)
-                except BaseException:
-                    pass
+        def record_error(err: NodeError) -> None:
+            with self._errors_lock:
+                self._errors.append(err)
 
+        if self._trace is not None:
+            self._trace.start()
         for rt in self._graph.rt_nodes:
+            runner = _Runner(rt, tracer=self._trace)
             thread = threading.Thread(
-                target=body, args=(_Runner(rt),), daemon=True,
-                name=f"acc-{rt.node.name}")
+                target=_thread_body, args=(runner, record_error),
+                daemon=True, name=f"acc-{rt.node.name}")
             self._threads.append(thread)
             thread.start()
         return self
@@ -114,15 +116,20 @@ class Accelerator:
 
     def collect(self) -> list[Any]:
         """Close the input stream, wait for the graph to drain, and
-        return every (remaining) result.  Raises the first node error."""
+        return every (remaining) result.  Raises the failed node's
+        :class:`NodeError`, or a :class:`~repro.ff.errors.MultiNodeError`
+        aggregating every failure when several nodes died."""
         if not self._closed:
             self._closed = True
             self._input.producer_done()
         results = list(self._graph.result_channel.drain())
         for thread in self._threads:
             thread.join()
-        if self._errors:
-            raise self._errors[0]
+        if self._trace is not None:
+            self._trace.stop()
+        failure = aggregate_node_errors(self._errors)
+        if failure is not None:
+            raise failure
         return results
 
     # ------------------------------------------------------------------
@@ -138,3 +145,5 @@ class Accelerator:
                 self._closed = True
                 self._input.producer_done()
             self._graph.result_channel.abandon()
+            if self._trace is not None:
+                self._trace.stop()

@@ -1,5 +1,7 @@
 """Exception hierarchy for the streaming runtime."""
 
+from __future__ import annotations
+
 
 class FFError(Exception):
     """Base class for all errors raised by the ff runtime."""
@@ -21,3 +23,37 @@ class NodeError(FFError):
         super().__init__(f"node {node_name!r} failed: {original!r}")
         self.node_name = node_name
         self.original = original
+        self.__cause__ = original
+
+
+class MultiNodeError(NodeError):
+    """Several nodes failed during one run.
+
+    Subclasses :class:`NodeError` (``node_name``/``original`` describe the
+    first failure) so existing ``except NodeError`` handlers keep working;
+    ``errors`` holds every per-node failure for diagnosis.
+    """
+
+    def __init__(self, errors: "list[NodeError]"):
+        if not errors:
+            raise ValueError("MultiNodeError needs at least one error")
+        self.errors = list(errors)
+        first = self.errors[0]
+        names = ", ".join(e.node_name for e in self.errors)
+        Exception.__init__(
+            self, f"{len(self.errors)} nodes failed ({names}); "
+            f"first: {first.original!r}")
+        self.node_name = first.node_name
+        self.original = first.original
+        self.__cause__ = first
+
+
+def aggregate_node_errors(errors: "list[NodeError]"):
+    """Collapse a list of per-node failures into one raisable exception:
+    ``None`` when empty, the error itself when single, a
+    :class:`MultiNodeError` otherwise.  Never drops an error silently."""
+    if not errors:
+        return None
+    if len(errors) == 1:
+        return errors[0]
+    return MultiNodeError(errors)

@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import heapq
 import threading
-from typing import Any, Optional
+from time import perf_counter
+from typing import Any, Callable, Optional
 
-from repro.ff.errors import GraphError, NodeError
+from repro.ff.errors import GraphError, NodeError, aggregate_node_errors
 from repro.ff.graph import Graph, RtNode, Structure
 from repro.ff.farm import Feedback
 from repro.ff.node import EOS, GO_ON, Emit
 from repro.ff.queues import GroupDone
+from repro.ff.trace import Tracer, TracingOutbox
 
 _SKIP = object()  # placeholder for "no output" slots in ordered farms
 
@@ -64,9 +66,14 @@ class _Tagged:
         self.items = items
 
 
-def compile_graph(structure: Structure, capacity: int,
-                  collect: bool) -> Graph:
-    """Expand a pattern composition into a runnable :class:`Graph`."""
+def compile_graph(structure: Structure, capacity: int, collect: bool,
+                  tracer: Optional[Tracer] = None) -> Graph:
+    """Expand a pattern composition into a runnable :class:`Graph`.
+
+    When ``tracer`` is given, every channel of the compiled graph gets a
+    :class:`~repro.ff.trace.ChannelTrace` attached so push/pop record
+    occupancy and blocked time.
+    """
     nodes = structure.nodes()
     seen: set[int] = set()
     for node in nodes:
@@ -84,15 +91,28 @@ def compile_graph(structure: Structure, capacity: int,
             raise GraphError(
                 f"head node {rt.node!r} has no input and no generate(); "
                 "the first stage of a graph must be a source")
+    if tracer is not None:
+        for ch in graph.channels:
+            ch._trace = tracer.channel(ch)
     return graph
 
 
 class _Runner:
-    """Per-node execution state shared by both executors."""
+    """Per-node execution state shared by both executors.
 
-    def __init__(self, rt: RtNode):
+    When ``tracer`` is given the runner records items in/out, per-item
+    service time and svc error counts into a per-node
+    :class:`~repro.ff.trace.NodeTrace`; without one, the per-item cost of
+    the instrumentation is a single ``is None`` check.
+    """
+
+    def __init__(self, rt: RtNode, tracer: Optional[Tracer] = None):
         self.rt = rt
         self.node = rt.node
+        self.tracer = tracer
+        self.trace = tracer.node(rt.name) if tracer is not None else None
+        self.outbox = (TracingOutbox(rt.outbox, self.trace)
+                       if self.trace is not None else rt.outbox)
         self.finished = False
         self.started = False
         self.error: Optional[BaseException] = None
@@ -104,7 +124,8 @@ class _Runner:
     # ------------------------------------------------------------------
     def start(self) -> None:
         node = self.node
-        node._outbox = self.rt.outbox
+        node._outbox = self.outbox
+        node._tracer = self.tracer
         if self.rt.feedback is not None:
             node._feedback = _FeedbackSender(self.rt.feedback)
         node.svc_init()
@@ -121,11 +142,12 @@ class _Runner:
         try:
             self.node.svc_end()
         finally:
-            self.rt.outbox.close()
+            self.outbox.close()
             if self.rt.feedback is not None:
                 self.rt.feedback.close()
             self.node._outbox = None
             self.node._feedback = None
+            self.node._tracer = None
 
     # ------------------------------------------------------------------
     # output routing
@@ -139,9 +161,9 @@ class _Runner:
             return True
         if isinstance(result, Emit):
             for item in result.items:
-                self.rt.outbox.send(item)
+                self.outbox.send(item)
             return False
-        self.rt.outbox.send(result)
+        self.outbox.send(result)
         return False
 
     def _svc_tagged(self, seq: int, payload: Any) -> bool:
@@ -156,13 +178,13 @@ class _Runner:
             node._outbox = real_outbox
         items = list(collector.items)
         if result is EOS:
-            self.rt.outbox.send(_Tagged(seq, items))
+            self.outbox.send(_Tagged(seq, items))
             return True
         if isinstance(result, Emit):
             items.extend(result.items)
         elif result is not GO_ON:
             items.append(result)
-        self.rt.outbox.send(_Tagged(seq, items))
+        self.outbox.send(_Tagged(seq, items))
         return False
 
     def _deliver_reordered(self, tagged: _Tagged) -> bool:
@@ -178,6 +200,11 @@ class _Runner:
 
     def process(self, item: Any) -> bool:
         """Process one popped item.  Returns True when the node is done."""
+        if self.trace is not None:
+            return self._process_traced(item)
+        return self._process(item)
+
+    def _process(self, item: Any) -> bool:
         if item is EOS:
             return True
         if isinstance(item, GroupDone):
@@ -194,14 +221,70 @@ class _Runner:
                 f"{self.node.name!r}")
         return self._route_plain(self.node.svc(item))
 
+    def _process_traced(self, item: Any) -> bool:
+        if item is EOS or isinstance(item, GroupDone):
+            return self._process(item)
+        self.trace.items_in += 1
+        started = perf_counter()
+        try:
+            done = self._process(item)
+        except BaseException:
+            self.trace.svc_errors += 1
+            self.trace.record_svc(perf_counter() - started)
+            raise
+        self.trace.record_svc(perf_counter() - started)
+        return done
+
     def source_step(self) -> bool:
         """Produce one item from a source.  Returns True when exhausted."""
+        if self.trace is None:
+            try:
+                item = next(self._gen)
+            except StopIteration:
+                return True
+            self.outbox.send(item)
+            return False
+        started = perf_counter()
         try:
             item = next(self._gen)
         except StopIteration:
             return True
-        self.rt.outbox.send(item)
+        except BaseException:
+            self.trace.svc_errors += 1
+            raise
+        self.trace.record_svc(perf_counter() - started)
+        self.outbox.send(item)
         return False
+
+
+def _thread_body(runner: _Runner,
+                 record_error: Callable[[NodeError], None]) -> None:
+    """The per-node thread loop shared by :class:`ThreadedExecutor` and
+    :class:`~repro.ff.accelerator.Accelerator`."""
+    trace = runner.trace
+    try:
+        runner.start()
+        if runner.rt.in_channel is None:
+            while not runner.source_step():
+                pass
+            runner.finish()
+        else:
+            while True:
+                if trace is None:
+                    item = runner.rt.in_channel.pop()
+                else:
+                    started = perf_counter()
+                    item = runner.rt.in_channel.pop()
+                    trace.record_idle(perf_counter() - started)
+                if runner.process(item):
+                    runner.finish(abandon_input=item is not EOS)
+                    break
+    except BaseException as exc:  # noqa: BLE001 - must not kill the run
+        record_error(NodeError(runner.node.name, exc))
+        try:
+            runner.finish(abandon_input=True)
+        except BaseException:
+            pass
 
 
 class ThreadedExecutor:
@@ -210,48 +293,39 @@ class ThreadedExecutor:
     def __init__(self, capacity: int = 512):
         self.capacity = capacity
 
-    def run(self, structure: Structure, collect: bool = True) -> list[Any]:
-        graph = compile_graph(structure, self.capacity, collect)
+    def run(self, structure: Structure, collect: bool = True,
+            trace: Optional[Tracer] = None) -> list[Any]:
+        graph = compile_graph(structure, self.capacity, collect,
+                              tracer=trace)
         errors: list[NodeError] = []
         errors_lock = threading.Lock()
 
-        def body(runner: _Runner) -> None:
-            try:
-                runner.start()
-                if runner.rt.in_channel is None:
-                    while not runner.source_step():
-                        pass
-                    runner.finish()
-                else:
-                    while True:
-                        item = runner.rt.in_channel.pop()
-                        if runner.process(item):
-                            early = item is not EOS
-                            runner.finish(abandon_input=early)
-                            break
-            except BaseException as exc:  # noqa: BLE001 - must not kill run
-                with errors_lock:
-                    errors.append(NodeError(runner.node.name, exc))
-                try:
-                    runner.finish(abandon_input=True)
-                except BaseException:
-                    pass
+        def record_error(err: NodeError) -> None:
+            with errors_lock:
+                errors.append(err)
 
-        runners = [_Runner(rt) for rt in graph.rt_nodes]
+        runners = [_Runner(rt, tracer=trace) for rt in graph.rt_nodes]
         threads = [
-            threading.Thread(target=body, args=(r,), daemon=True,
-                             name=f"ff-{r.node.name}")
+            threading.Thread(target=_thread_body, args=(r, record_error),
+                             daemon=True, name=f"ff-{r.node.name}")
             for r in runners
         ]
-        for t in threads:
-            t.start()
-        results: list[Any] = []
-        if graph.result_channel is not None:
-            results = list(graph.result_channel.drain())
-        for t in threads:
-            t.join()
-        if errors:
-            raise errors[0]
+        if trace is not None:
+            trace.start()
+        try:
+            for t in threads:
+                t.start()
+            results: list[Any] = []
+            if graph.result_channel is not None:
+                results = list(graph.result_channel.drain())
+            for t in threads:
+                t.join()
+        finally:
+            if trace is not None:
+                trace.stop()
+        failure = aggregate_node_errors(errors)
+        if failure is not None:
+            raise failure
         return results
 
 
@@ -265,31 +339,53 @@ class SequentialExecutor:
 
     _UNBOUNDED = 2 ** 60
 
-    def run(self, structure: Structure, collect: bool = True) -> list[Any]:
-        graph = compile_graph(structure, self._UNBOUNDED, collect)
-        runners = [_Runner(rt) for rt in graph.rt_nodes]
-        for r in runners:
-            r.start()
+    def run(self, structure: Structure, collect: bool = True,
+            trace: Optional[Tracer] = None) -> list[Any]:
+        graph = compile_graph(structure, self._UNBOUNDED, collect,
+                              tracer=trace)
+        runners = [_Runner(rt, tracer=trace) for rt in graph.rt_nodes]
+        if trace is not None:
+            trace.start()
+        try:
+            return self._interpret(graph, runners)
+        finally:
+            if trace is not None:
+                trace.stop()
+
+    def _interpret(self, graph: Graph,
+                   runners: "list[_Runner]") -> list[Any]:
         pending = set(range(len(runners)))
+        for runner in runners:
+            try:
+                runner.start()
+            except BaseException as exc:  # noqa: BLE001
+                self._release(runners, pending)
+                raise NodeError(runner.node.name, exc)
         results: list[Any] = []
         while pending:
             progress = False
             for i in sorted(pending):
                 runner = runners[i]
-                if runner.rt.in_channel is None:
-                    done = runner.source_step()
+                try:
+                    if runner.rt.in_channel is None:
+                        done = runner.source_step()
+                        progress = True
+                        if done:
+                            runner.finish()
+                            pending.discard(i)
+                        continue
+                    got, item = runner.rt.in_channel.try_pop()
+                    if not got:
+                        continue
                     progress = True
-                    if done:
-                        runner.finish()
+                    if runner.process(item):
+                        runner.finish(abandon_input=item is not EOS)
                         pending.discard(i)
-                    continue
-                got, item = runner.rt.in_channel.try_pop()
-                if not got:
-                    continue
-                progress = True
-                if runner.process(item):
-                    runner.finish(abandon_input=item is not EOS)
-                    pending.discard(i)
+                except NodeError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001
+                    self._release(runners, pending)
+                    raise NodeError(runner.node.name, exc)
             if graph.result_channel is not None:
                 while True:
                     got, item = graph.result_channel.try_pop()
@@ -307,16 +403,33 @@ class SequentialExecutor:
                 results.append(item)
         return results
 
+    @staticmethod
+    def _release(runners: "list[_Runner]", pending: "set[int]") -> None:
+        """Best-effort teardown after a node error: finish the remaining
+        runners so channels close and svc_end hooks fire (mirrors the
+        threaded executor, where every other thread winds down)."""
+        for i in sorted(pending):
+            try:
+                if runners[i].started:
+                    runners[i].finish(abandon_input=True)
+            except BaseException:  # noqa: BLE001 - teardown only
+                pass
+
 
 def run(structure: Structure, backend: str = "threads",
-        capacity: int = 512, collect: bool = True) -> list[Any]:
+        capacity: int = 512, collect: bool = True,
+        trace: Optional[Tracer] = None) -> list[Any]:
     """Run a pattern composition and return the collected output stream.
 
     ``backend`` is ``"threads"`` (concurrent, FastFlow-like) or
-    ``"sequential"`` (deterministic reference interpreter).
+    ``"sequential"`` (deterministic reference interpreter).  Pass a
+    :class:`~repro.ff.trace.Tracer` as ``trace`` to record per-node /
+    per-channel runtime metrics; ``trace.report()`` afterwards yields the
+    structured run report.
     """
     if backend == "threads":
-        return ThreadedExecutor(capacity=capacity).run(structure, collect)
+        return ThreadedExecutor(capacity=capacity).run(structure, collect,
+                                                       trace=trace)
     if backend == "sequential":
-        return SequentialExecutor().run(structure, collect)
+        return SequentialExecutor().run(structure, collect, trace=trace)
     raise GraphError(f"unknown backend {backend!r}")

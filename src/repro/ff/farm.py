@@ -273,6 +273,14 @@ class MasterWorkerEmitter(Node):
         self.upstream_done = False
         self.completed = 0
 
+    def svc_init(self) -> None:
+        """Reset the in-flight bookkeeping so the same emitter instance
+        can run the same structure more than once (subclasses overriding
+        this must call ``super().svc_init()``)."""
+        self.in_flight = 0
+        self.upstream_done = False
+        self.completed = 0
+
     # -- policy hooks ---------------------------------------------------
     def is_complete(self, item: Any) -> bool:
         """Return True when a fed-back item needs no more processing."""

@@ -52,11 +52,7 @@ class ChannelOutbox(Outbox):
             # Bypass capacity: used by feedback edges to break the
             # emitter<->worker backpressure cycle (FastFlow uses unbounded
             # feedback queues for the same reason).
-            with self.channel._not_full:
-                if not self.channel._abandoned:
-                    self.channel._queue.append(item)
-                    self.channel._pushed += 1
-                    self.channel._not_empty.notify()
+            self.channel.push_unbounded(item)
         else:
             self.channel.push(item)
 

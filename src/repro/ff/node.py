@@ -63,6 +63,7 @@ class Node:
         # Bound by the executor while the graph runs:
         self._outbox = None
         self._feedback = None
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # life cycle hooks
@@ -113,6 +114,14 @@ class Node:
     def has_feedback(self) -> bool:
         return self._feedback is not None
 
+    def trace_incr(self, counter: str, n: float = 1) -> None:
+        """Bump a named run-report counter (e.g. ``"sim.steps"``) on the
+        tracer of the current run.  A no-op when tracing is off, so domain
+        nodes can call it unconditionally from ``svc``."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.incr(counter, n)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -141,11 +150,19 @@ class SourceNode(Node):
 
 
 class SinkNode(Node):
-    """A stream sink: collects every received item into :attr:`results`."""
+    """A stream sink: collects every received item into :attr:`results`.
+
+    ``results`` holds the items of the most recent run: it is reset when a
+    new run starts (``svc_init``), so the same sink instance can be reused
+    across runs without accumulating stale items.
+    """
 
     def __init__(self, name: str = ""):
         super().__init__(name=name)
         self.results: list[Any] = []
+
+    def svc_init(self) -> None:
+        self.results = []
 
     def svc(self, item: Any) -> Any:
         self.results.append(item)

@@ -22,7 +22,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator
+from time import monotonic, perf_counter
+from typing import Any, Hashable, Iterator, Optional
 
 from repro.ff.errors import QueueClosedError
 
@@ -55,6 +56,22 @@ class GroupDone:
     group: str
 
 
+@dataclass(frozen=True)
+class ChannelStats:
+    """One atomic snapshot of a channel's counters (taken under the
+    channel lock, so ``pushed``/``popped``/``length`` are consistent with
+    each other)."""
+
+    name: str
+    capacity: int
+    length: int
+    pushed: int
+    popped: int
+    high_water: int
+    abandoned: bool
+    closed: bool
+
+
 class Channel:
     """A bounded multi-producer single-consumer FIFO with EOS bookkeeping.
 
@@ -79,6 +96,10 @@ class Channel:
         self._abandoned = False
         self._pushed = 0
         self._popped = 0
+        self._high_water = 0
+        #: bound by the executors when tracing is enabled; the hot paths
+        #: only pay an ``is None`` check when it is not
+        self._trace: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # producer lifecycle
@@ -130,21 +151,64 @@ class Channel:
         was abandoned by its consumer (the item is dropped silently -- this
         mirrors a FastFlow worker pushing into a farm whose emitter already
         terminated the stream).
+
+        ``timeout`` bounds the *total* blocking time: a producer that is
+        notified while the channel is still full waits only the remaining
+        part of its budget before raising :class:`TimeoutError`.
         """
+        deadline = monotonic() + timeout if timeout is not None else None
+        wait_started = None
         with self._not_full:
             while True:
                 if self._abandoned:
+                    self._record_blocked_push_locked(wait_started)
                     return False
                 if len(self._queue) < self.capacity:
                     self._queue.append(item)
                     self._pushed += 1
+                    n = len(self._queue)
+                    if n > self._high_water:
+                        self._high_water = n
+                    tr = self._trace
+                    if tr is not None:
+                        blocked = (perf_counter() - wait_started
+                                   if wait_started is not None else 0.0)
+                        tr.record_push(n, blocked)
                     self._not_empty.notify()
                     return True
-                if not self._not_full.wait(timeout=timeout):
-                    if timeout is not None:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        self._record_blocked_push_locked(wait_started)
                         raise TimeoutError(
                             f"push on channel {self.name!r} timed out"
                         )
+                if self._trace is not None and wait_started is None:
+                    wait_started = perf_counter()
+                self._not_full.wait(timeout=remaining)
+
+    def push_unbounded(self, item: Any) -> bool:
+        """Append bypassing capacity.  Used by feedback edges to break the
+        emitter<->worker backpressure cycle (FastFlow uses unbounded
+        feedback queues for the same reason)."""
+        with self._lock:
+            if self._abandoned:
+                return False
+            self._queue.append(item)
+            self._pushed += 1
+            n = len(self._queue)
+            if n > self._high_water:
+                self._high_water = n
+            if self._trace is not None:
+                self._trace.record_push(n, 0.0)
+            self._not_empty.notify()
+            return True
+
+    def _record_blocked_push_locked(self, wait_started) -> None:
+        if self._trace is not None and wait_started is not None:
+            self._trace.record_push(len(self._queue),
+                                    perf_counter() - wait_started)
 
     def pop(self, timeout: float | None = None) -> Any:
         """Remove and return the oldest item.
@@ -152,21 +216,36 @@ class Channel:
         Returns :data:`EOS` when the queue is empty and all producers have
         finished.  :class:`GroupDone` tokens are returned in-band so the
         caller (the node runtime) can react to partial terminations.
+
+        Like :meth:`push`, ``timeout`` bounds the total blocking time with
+        a deadline, not each individual wait.
         """
+        deadline = monotonic() + timeout if timeout is not None else None
+        wait_started = None
         with self._not_empty:
             while True:
                 if self._queue:
                     item = self._queue.popleft()
                     self._popped += 1
+                    tr = self._trace
+                    if tr is not None:
+                        blocked = (perf_counter() - wait_started
+                                   if wait_started is not None else 0.0)
+                        tr.record_pop(blocked)
                     self._not_full.notify()
                     return item
                 if self._all_done_locked():
                     return EOS
-                if not self._not_empty.wait(timeout=timeout):
-                    if timeout is not None:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
                         raise TimeoutError(
                             f"pop on channel {self.name!r} timed out"
                         )
+                if self._trace is not None and wait_started is None:
+                    wait_started = perf_counter()
+                self._not_empty.wait(timeout=remaining)
 
     def try_pop(self) -> tuple[bool, Any]:
         """Non-blocking pop: ``(True, item)``, ``(True, EOS)`` when the
@@ -198,11 +277,28 @@ class Channel:
 
     @property
     def total_pushed(self) -> int:
-        return self._pushed
+        with self._lock:
+            return self._pushed
 
     @property
     def total_popped(self) -> int:
-        return self._popped
+        with self._lock:
+            return self._popped
+
+    def stats(self) -> ChannelStats:
+        """One atomic snapshot of the channel's counters (the tracer
+        consumes this; prefer it over reading the properties separately)."""
+        with self._lock:
+            return ChannelStats(
+                name=self.name,
+                capacity=self.capacity,
+                length=len(self._queue),
+                pushed=self._pushed,
+                popped=self._popped,
+                high_water=self._high_water,
+                abandoned=self._abandoned,
+                closed=self._all_done_locked(),
+            )
 
     def drain(self) -> Iterator[Any]:
         """Pop until EOS (skipping GroupDone tokens).  Test helper."""
@@ -215,9 +311,11 @@ class Channel:
             yield item
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        st = self.stats()
         return (
-            f"Channel({self.name!r}, len={len(self)}, cap={self.capacity}, "
-            f"groups={self._groups})"
+            f"Channel({st.name!r}, len={st.length}, cap={st.capacity}, "
+            f"pushed={st.pushed}, popped={st.popped}, "
+            f"high_water={st.high_water})"
         )
 
 

@@ -14,6 +14,7 @@ from repro.ff.farm import Farm
 from repro.ff.node import Node
 from repro.ff.pipeline import Pipeline
 from repro.ff.executor import run as ff_run
+from repro.ff.trace import RunReport, Tracer
 from repro.pipeline.config import WorkflowConfig
 from repro.pipeline.steering import SteeringController
 from repro.sim.alignment import TrajectoryAligner
@@ -54,6 +55,8 @@ class WorkflowResult:
     config: WorkflowConfig
     windows: list[WindowStatistics]
     cuts: list[Cut] = field(default_factory=list)
+    #: runtime metrics of the run (``config.trace=True``), else None
+    trace_report: Optional[RunReport] = None
 
     @property
     def n_windows(self) -> int:
@@ -131,12 +134,25 @@ def build_workflow(model: Union[Model, ReactionNetwork],
 
 def run_workflow(model: Union[Model, ReactionNetwork],
                  config: WorkflowConfig,
-                 controller: Optional[SteeringController] = None
-                 ) -> WorkflowResult:
-    """Build and execute the workflow; see :func:`build_workflow`."""
+                 controller: Optional[SteeringController] = None,
+                 tracer: Optional[Tracer] = None) -> WorkflowResult:
+    """Build and execute the workflow; see :func:`build_workflow`.
+
+    With ``config.trace`` (or an explicit ``tracer``) the run records
+    per-node service times, per-channel occupancy and simulation counters
+    (steps, quanta, trajectories retired); the resulting
+    :class:`~repro.ff.trace.RunReport` lands in
+    :attr:`WorkflowResult.trace_report` and, when
+    ``config.trace_report_path`` is set, as a JSON file on disk.
+    """
     cut_store: Optional[list] = [] if config.keep_cuts else None
     workflow = build_workflow(model, config, controller=controller,
                               cut_store=cut_store)
-    windows = ff_run(workflow, backend=config.backend)
+    if tracer is None and config.trace:
+        tracer = Tracer()
+    windows = ff_run(workflow, backend=config.backend, trace=tracer)
+    report = tracer.report() if tracer is not None else None
+    if report is not None and config.trace_report_path:
+        report.save(config.trace_report_path)
     return WorkflowResult(config=config, windows=windows,
-                          cuts=cut_store or [])
+                          cuts=cut_store or [], trace_report=report)

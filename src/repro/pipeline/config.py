@@ -35,6 +35,8 @@ class WorkflowConfig:
     scheduling: str = "ondemand"  # farm dispatch policy
     backend: str = "threads"      # "threads" | "sequential"
     keep_cuts: bool = False       # retain raw cuts (memory!) for examples
+    trace: bool = False           # record runtime metrics (run report)
+    trace_report_path: Optional[str] = None  # write the JSON report here
 
     def __post_init__(self) -> None:
         if self.n_simulations < 1:

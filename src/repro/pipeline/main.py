@@ -63,6 +63,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         default="threads")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-window progress lines")
+    parser.add_argument("--trace", action="store_true",
+                        help="record runtime metrics and print the run "
+                             "report (per-node service times, channel "
+                             "occupancy, bottleneck diagnosis)")
+    parser.add_argument("--trace-report", metavar="PATH", default=None,
+                        help="write the JSON run report to PATH "
+                             "(implies --trace)")
     return parser
 
 
@@ -77,7 +84,9 @@ def main(argv: list[str] | None = None) -> int:
         kmeans_k=args.kmeans, filter_width=args.filter_width,
         histogram_bins=args.histogram,
         seed=args.seed, engine=args.engine, batch_size=args.batch_size,
-        backend=args.backend, keep_cuts=True)
+        backend=args.backend, keep_cuts=True,
+        trace=args.trace or args.trace_report is not None,
+        trace_report_path=args.trace_report)
 
     def on_progress(event: ProgressEvent) -> None:
         if args.quiet:
@@ -96,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n{result.n_windows} windows, "
           f"{len(result.cut_statistics())} cuts, "
           f"{config.n_simulations} trajectories, {elapsed:.2f}s wall-clock")
+
+    if result.trace_report is not None:
+        print()
+        print(result.trace_report.to_text())
+        if config.trace_report_path:
+            print(f"\nrun report written to {config.trace_report_path}")
 
     if args.histogram and result.windows:
         final = result.windows[-1]

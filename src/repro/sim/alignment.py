@@ -32,6 +32,15 @@ class TrajectoryAligner(Node):
         self.cuts_emitted = 0
         self.max_buffered = 0
 
+    def svc_init(self) -> None:
+        # Per-run reset: a reused aligner must not reject grid points of a
+        # fresh stream as "already emitted" or leak pending columns.
+        self._pending.clear()
+        self._times.clear()
+        self._next_emit = 0
+        self.cuts_emitted = 0
+        self.max_buffered = 0
+
     def svc(self, result: QuantumResult):
         if not isinstance(result, QuantumResult):
             raise TypeError(

@@ -24,15 +24,27 @@ class SimEngineNode(Node):
         self.quanta_executed = 0
         self.steps_executed = 0
 
+    def svc_init(self) -> None:
+        self.quanta_executed = 0
+        self.steps_executed = 0
+
     def svc(self, task: Union[SimulationTask, BatchSimulationTask]):
         steps_before = task.steps
         outcome = task.run_quantum()
         self.quanta_executed += 1
-        self.steps_executed += task.steps - steps_before
+        steps = task.steps - steps_before
+        self.steps_executed += steps
         # a batch task yields one QuantumResult per member trajectory
         results = outcome if isinstance(outcome, list) else [outcome]
+        retired = 0
         for result in results:
+            if result.done:
+                retired += 1
             if result.samples or result.done:
                 self.ff_send_out(result)
+        self.trace_incr("sim.steps", steps)
+        self.trace_incr("sim.quanta", 1)
+        if retired:
+            self.trace_incr("sim.trajectories_retired", retired)
         self.send_feedback(task)
         return GO_ON

@@ -63,6 +63,10 @@ class SimTaskEmitter(MasterWorkerEmitter):
         self._stop_requested = stop_requested
         self.quanta_dispatched = 0
 
+    def svc_init(self) -> None:
+        super().svc_init()
+        self.quanta_dispatched = 0
+
     def is_complete(self, task: SimulationTask) -> bool:
         if task.done:
             return True
@@ -72,8 +76,13 @@ class SimTaskEmitter(MasterWorkerEmitter):
 
     def on_task(self, task: SimulationTask) -> SimulationTask:
         self.quanta_dispatched += 1
+        self.trace_incr("sim.quanta_dispatched", 1)
         return task
 
     def on_reschedule(self, task: SimulationTask) -> SimulationTask:
         self.quanta_dispatched += 1
+        self.trace_incr("sim.quanta_dispatched", 1)
         return task
+
+    def on_complete(self, task: SimulationTask) -> None:
+        self.trace_incr("sim.tasks_completed", 1)

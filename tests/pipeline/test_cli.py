@@ -56,3 +56,25 @@ class TestMain:
                      "--window", "20", "--sim-workers", "2", "--quiet"])
         assert code == 0
         assert "period" in capsys.readouterr().out
+
+    def test_trace_flag_prints_report(self, capsys):
+        code = main(["--model", "enzyme", "--simulations", "4",
+                     "--t-end", "5", "--quantum", "1",
+                     "--sample-every", "0.5", "--window", "4",
+                     "--sim-workers", "2", "--quiet", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bottleneck:" in out
+
+    def test_trace_report_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main(["--model", "enzyme", "--simulations", "4",
+                     "--t-end", "5", "--quantum", "1",
+                     "--sample-every", "0.5", "--window", "4",
+                     "--sim-workers", "2", "--quiet",
+                     "--trace-report", str(path)])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["counters"]["sim.trajectories_retired"] == 4

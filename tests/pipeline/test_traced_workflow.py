@@ -1,0 +1,64 @@
+"""Tracing through the full simulation-analysis workflow."""
+
+import json
+
+import pytest
+
+from repro.ff.trace import RunReport
+from repro.pipeline import WorkflowConfig, run_workflow
+
+BACKENDS = ("sequential", "threads")
+
+
+def config(**overrides):
+    base = dict(n_simulations=4, t_end=8.0, sample_every=0.5, quantum=2.0,
+                n_sim_workers=2, n_stat_workers=1, window_size=5, seed=0)
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+class TestTracedWorkflow:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_report_attached_with_sim_counters(self, neurospora_small,
+                                               backend):
+        result = run_workflow(neurospora_small,
+                              config(backend=backend, trace=True))
+        report = result.trace_report
+        assert isinstance(report, RunReport)
+        # domain-level counters from the sim engine and scheduler hooks
+        assert report.counters["sim.steps"] > 0
+        assert report.counters["sim.quanta"] >= 4
+        assert report.counters["sim.trajectories_retired"] == 4
+        assert report.counters["sim.tasks_completed"] == 4
+        # every farm worker shows up as a traced node
+        names = {n["name"] for n in report.nodes}
+        assert any(n.startswith("sim-farm.w") for n in names)
+
+    def test_bottleneck_named(self, neurospora_small):
+        result = run_workflow(neurospora_small, config(trace=True))
+        bn = result.trace_report.bottleneck()
+        assert bn["slowest_stage"] is not None
+        assert bn["slowest_stage"]["name"]
+        assert bn["diagnosis"] != "no activity recorded"
+
+    def test_report_written_to_path(self, neurospora_small, tmp_path):
+        path = tmp_path / "report.json"
+        result = run_workflow(
+            neurospora_small,
+            config(trace=True, trace_report_path=str(path)))
+        assert result.trace_report is not None
+        data = json.loads(path.read_text())
+        assert data["counters"]["sim.trajectories_retired"] == 4
+        assert "bottleneck" in data
+
+    def test_untraced_by_default(self, neurospora_small):
+        result = run_workflow(neurospora_small, config())
+        assert result.trace_report is None
+
+    def test_traced_and_untraced_results_identical(self, neurospora_small):
+        plain = run_workflow(neurospora_small, config())
+        traced = run_workflow(neurospora_small, config(trace=True))
+        assert [(s.grid_index, s.mean, s.variance)
+                for s in plain.cut_statistics()] == \
+            [(s.grid_index, s.mean, s.variance)
+             for s in traced.cut_statistics()]

@@ -24,7 +24,7 @@ class TestExamples:
     def test_all_examples_present(self):
         assert {"quickstart", "neurospora_circadian", "toggle_kmeans",
                 "distributed_cloud", "gpu_offload",
-                "methods_comparison"}.issubset(set(EXAMPLES))
+                "methods_comparison", "traced_run"}.issubset(set(EXAMPLES))
 
     @pytest.mark.parametrize("name", EXAMPLES)
     def test_imports_cleanly(self, name):
