@@ -16,23 +16,46 @@ existing code".  This package is the functional half of that story (the
   behind serialisation boundaries with per-host task affinity;
 * :mod:`repro.distributed.procfarm` -- a process-backed simulation farm:
   tasks cross real process boundaries (multiprocessing), giving true
-  multi-core execution in CPython.
+  multi-core execution in CPython (``backend="processes"``);
+* :mod:`repro.distributed.net` / :mod:`repro.distributed.worker` -- the
+  real thing (``backend="cluster"``): a TCP master/worker runtime with
+  host affinity, bounded in-flight windows, heartbeat failure detection
+  and deterministic task reassignment on worker death.
 """
 
-from repro.distributed.message import FrameCodec, FrameError, encode_frame, decode_frame
+from repro.distributed.message import (
+    FrameCodec,
+    FrameError,
+    StreamDecoder,
+    encode_frame,
+    decode_frame,
+)
 from repro.distributed.channel import NetworkLink, TrafficMeter
 from repro.distributed.cluster import DistributedWorkflow, HostSpec as VirtualHost
+from repro.distributed.net import (
+    ClusterError,
+    ClusterMaster,
+    ClusterSourceNode,
+    KillWorkerAfter,
+    run_workflow_cluster,
+)
 from repro.distributed.procfarm import ProcessSimEngineNode, run_workflow_multiprocess
 
 __all__ = [
     "FrameCodec",
     "FrameError",
+    "StreamDecoder",
     "encode_frame",
     "decode_frame",
     "NetworkLink",
     "TrafficMeter",
     "DistributedWorkflow",
     "VirtualHost",
+    "ClusterError",
+    "ClusterMaster",
+    "ClusterSourceNode",
+    "KillWorkerAfter",
+    "run_workflow_cluster",
     "ProcessSimEngineNode",
     "run_workflow_multiprocess",
 ]

@@ -105,13 +105,28 @@ class _RemoteSimLane(Node):
 
     def svc(self, task: SimulationTask):
         # master -> host: the task state crosses the wire
-        remote_task: SimulationTask = self.downlink.roundtrip(task)
+        down_frame = self.downlink.send(task)
+        remote_task: SimulationTask = self.downlink.receive(down_frame)
+        steps_before = remote_task.steps
         result = remote_task.run_quantum()
         self.quanta_executed += 1
+        wire_bytes = len(down_frame)
+        wire_messages = 1
         # host -> master: quantum results and updated task state return
         if result.samples or result.done:
-            self.ff_send_out(self.uplink.roundtrip(result))
-        self.send_feedback(self.uplink.roundtrip(remote_task))
+            up_frame = self.uplink.send(result)
+            wire_bytes += len(up_frame)
+            wire_messages += 1
+            self.ff_send_out(self.uplink.receive(up_frame))
+        back_frame = self.uplink.send(remote_task)
+        wire_bytes += len(back_frame)
+        wire_messages += 1
+        self.send_feedback(self.uplink.receive(back_frame))
+        self.trace_incr("net.bytes", wire_bytes)
+        self.trace_incr("net.messages", wire_messages)
+        self.trace_incr(f"net.host.{self.host.name}.bytes", wire_bytes)
+        self.trace_incr("sim.quanta", 1)
+        self.trace_incr("sim.steps", remote_task.steps - steps_before)
         return GO_ON
 
 
@@ -149,8 +164,17 @@ class DistributedWorkflow:
         self.config = config
         self.hosts = hosts
 
-    def run(self) -> DistributedRunResult:
+    def run(self, tracer=None) -> DistributedRunResult:
+        """Execute the virtual-cluster workflow.  With ``tracer`` (or
+        ``config.trace``) the run records the usual node/channel metrics
+        plus the domain counters of the serialisation boundaries
+        (``net.bytes``, ``net.messages``, per-host byte counts); the
+        report lands in ``result.workflow.trace_report``."""
+        from repro.ff.trace import Tracer
+
         config = self.config
+        if tracer is None and config.trace:
+            tracer = Tracer()
         downlinks = {h.name: NetworkLink(f"{h.name}.down", h.channel)
                      for h in self.hosts}
         uplinks = {h.name: NetworkLink(f"{h.name}.up", h.channel)
@@ -184,7 +208,9 @@ class DistributedWorkflow:
             SlidingWindowNode(config.window_size, config.window_slide),
             stat_farm,
         ], name="distributed-workflow")
-        windows = ff_run(workflow, backend=config.backend)
+        windows = ff_run(workflow, backend=config.backend, trace=tracer)
+        report = tracer.report() if tracer is not None else None
         return DistributedRunResult(
-            workflow=WorkflowResult(config=config, windows=windows),
+            workflow=WorkflowResult(config=config, windows=windows,
+                                    trace_report=report),
             downlinks=downlinks, uplinks=uplinks)

@@ -64,6 +64,64 @@ def decode_stream(data: bytes) -> Iterator[Any]:
         yield obj
 
 
+class StreamDecoder:
+    """Incremental frame decoder for real byte streams (sockets, pipes).
+
+    :func:`decode_frame` raises on short reads, which makes it unusable
+    behind ``socket.recv``: TCP delivers arbitrary chunks that split and
+    coalesce frames freely.  ``StreamDecoder`` buffers partial reads:
+    :meth:`feed` consumes one received chunk and returns every message
+    completed by it (possibly none, possibly several).
+
+    A truncated header or payload is *not* an error -- the bytes wait in
+    the buffer for the next read.  A bad magic or checksum *is* an error
+    (the stream is unrecoverable, the connection must be dropped), raised
+    as :class:`FrameError`.  An optional :class:`FrameCodec` receives the
+    inbound traffic accounting.
+    """
+
+    def __init__(self, codec: "FrameCodec | None" = None):
+        self._buffer = bytearray()
+        self.codec = codec
+        self.frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Buffer ``data``; return all messages it completed, in order."""
+        self._buffer.extend(data)
+        out: list[Any] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            magic, length, checksum = _HEADER.unpack_from(self._buffer)
+            if magic != MAGIC:
+                raise FrameError(f"bad magic {magic!r} (stream desynced)")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != checksum:
+                raise FrameError("checksum mismatch (corrupted frame)")
+            try:
+                obj = pickle.loads(payload)
+            except Exception as exc:
+                raise FrameError(f"undecodable payload: {exc}") from exc
+            self.frames_decoded += 1
+            if self.codec is not None:
+                self.codec.account_in(end)
+            out.append(obj)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<StreamDecoder {self.frames_decoded} frames, "
+                f"{len(self._buffer)}B pending>")
+
+
 class FrameCodec:
     """Stateful encode/decode with traffic accounting."""
 
@@ -84,9 +142,14 @@ class FrameCodec:
         obj, rest = decode_frame(frame)
         if rest:
             raise FrameError(f"{len(rest)} trailing bytes after frame")
-        self.messages_in += 1
-        self.bytes_in += len(frame)
+        self.account_in(len(frame))
         return obj
+
+    def account_in(self, n_bytes: int) -> None:
+        """Record one inbound message of ``n_bytes`` (used by
+        :class:`StreamDecoder`, which decodes the bytes itself)."""
+        self.messages_in += 1
+        self.bytes_in += n_bytes
 
     def mean_message_size(self) -> float:
         total = self.messages_out + self.messages_in

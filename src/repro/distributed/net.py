@@ -1,0 +1,667 @@
+"""repro.distributed.net: a real TCP master/worker cluster runtime.
+
+This is the socket half of the paper's distributed CWC simulator (section
+IV-B): the farm of simulation *engines* becomes a farm of remote *worker
+processes*.  Unlike :mod:`repro.distributed.cluster` (the in-process
+virtual cluster), everything here really crosses the network:
+
+* the master listens on a TCP port, spawns (or waits for) worker
+  processes, and ships :class:`~repro.sim.task.SimulationTask` objects to
+  them framed by :mod:`repro.distributed.message`;
+* workers run one simulation quantum per task message and return the
+  updated task state *and* the quantum results in a single atomic frame;
+* the master streams the :class:`~repro.sim.task.QuantumResult` objects
+  into the unchanged alignment/analysis half of the workflow.
+
+Scheduling mirrors the shared-memory farm: **host affinity** (a task is
+pinned to the worker that holds the warm path for it; pins only move when
+a worker dies), **bounded in-flight windows** per worker (backpressure:
+the master never buffers more than ``inflight_window`` tasks on a
+worker's socket), and on-demand refill as results come back.
+
+Fault tolerance: workers send heartbeats; the master declares a worker
+dead on connection loss or heartbeat timeout, then re-pins and re-sends
+that worker's in-flight tasks to the survivors.  Because a task carries
+its complete simulator state (including the RNG state) and the master
+only advances its copy when the result frame has fully arrived, a
+replayed quantum is *bit-identical* to the lost one: killing a worker
+mid-run never changes the results.
+
+The wire protocol (also see :mod:`repro.distributed.worker` for how to
+join remote hosts):
+
+====================  =============  =======================================
+message               direction      meaning
+====================  =============  =======================================
+:class:`Hello`        worker->master first frame after connect: register
+:class:`Heartbeat`    worker->master liveness beacon, every ``interval`` s
+:class:`TaskMsg`      master->worker run one quantum of the carried task
+:class:`ResultMsg`    worker->master updated task state + quantum results
+:class:`WorkerFailure` worker->master unrecoverable worker-side error
+:class:`Shutdown`     master->worker run is over, exit cleanly
+====================  =============  =======================================
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from repro.distributed.message import FrameCodec, FrameError, StreamDecoder
+from repro.ff.node import SourceNode
+
+
+class ClusterError(RuntimeError):
+    """Raised when the cluster cannot make progress (no workers, handshake
+    timeout, unrecoverable worker failure)."""
+
+
+# ----------------------------------------------------------------------
+# wire protocol
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Hello:
+    """First frame a worker sends: registers ``worker_id`` (and its OS
+    pid, for diagnostics) with the master."""
+
+    worker_id: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon; any traffic refreshes the liveness clock,
+    heartbeats guarantee traffic exists even while a quantum runs."""
+
+    worker_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class TaskMsg:
+    """Master -> worker: advance the carried task by one quantum."""
+
+    task: Any
+
+
+@dataclass(frozen=True)
+class ResultMsg:
+    """Worker -> master: the post-quantum task state plus its results.
+
+    State and results travel in *one* frame on purpose: the master either
+    sees both (task advanced, results forwarded downstream) or neither
+    (worker died mid-quantum, task replayed from the previous state) --
+    the atomicity deterministic reassignment relies on.
+    """
+
+    worker_id: int
+    task: Any
+    results: tuple
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Worker -> master: the worker hit an unrecoverable error."""
+
+    worker_id: int
+    error: str
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Master -> worker: the run is over, exit cleanly."""
+
+    reason: str = "done"
+
+
+def _task_key(task: Any) -> Any:
+    """Stable identity of a task across pickling (its id, or the id tuple
+    of a :class:`~repro.sim.task.BatchSimulationTask`)."""
+    key = getattr(task, "task_id", None)
+    if key is None:
+        key = task.task_ids
+    return key
+
+
+# ----------------------------------------------------------------------
+# master side
+# ----------------------------------------------------------------------
+
+class WorkerHandle:
+    """Master-side state of one worker connection."""
+
+    def __init__(self, worker_id: int, sock: socket.socket, proc=None):
+        self.worker_id = worker_id
+        self.sock = sock
+        self.proc = proc  # local multiprocessing.Process, if spawned
+        self.codec = FrameCodec(name=f"worker{worker_id}")
+        self.decoder = StreamDecoder(codec=self.codec)
+        self.alive = True
+        self.last_seen = time.monotonic()
+        #: task key -> last task state this worker was sent (the replay
+        #: point if the worker dies before returning the result)
+        self.in_flight: dict[Any, Any] = {}
+        self.items_done = 0
+        self.send_blocked_s = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WorkerHandle {self.worker_id} "
+                f"{'alive' if self.alive else 'dead'} "
+                f"in-flight={len(self.in_flight)} done={self.items_done}>")
+
+
+class ClusterMaster:
+    """TCP master: listens, spawns/accepts workers, schedules tasks.
+
+    :meth:`run` is a generator yielding :class:`QuantumResult` objects as
+    they arrive -- plug it into the workflow via
+    :class:`ClusterSourceNode` or iterate it directly.
+
+    Parameters
+    ----------
+    tasks:
+        The simulation tasks to drive to completion (quantum by quantum).
+    n_workers:
+        Worker processes to spawn (``spawn_local=True``) or remote
+        workers to wait for (``spawn_local=False``; see
+        :mod:`repro.distributed.worker` for how they join).
+    inflight_window:
+        Bounded in-flight window per worker: the backpressure knob.
+    heartbeat_interval / heartbeat_timeout:
+        Workers beacon every ``interval`` seconds; a worker silent for
+        ``timeout`` (default ``10 * interval``) is declared dead.
+    stop_requested:
+        Zero-argument callable polled while scheduling; when it returns
+        True, in-flight tasks are retired instead of re-dispatched
+        (steered early stop, like the shared-memory farm).
+    fault_hook:
+        Test/chaos hook ``hook(master)`` invoked after every processed
+        result (see :class:`KillWorkerAfter`).
+    """
+
+    def __init__(self, tasks: list, n_workers: int, *,
+                 inflight_window: int = 2,
+                 heartbeat_interval: float = 0.5,
+                 heartbeat_timeout: Optional[float] = None,
+                 bind_host: str = "127.0.0.1", port: int = 0,
+                 spawn_local: bool = True,
+                 accept_timeout: float = 30.0,
+                 poll_interval: float = 0.05,
+                 stop_requested: Optional[Callable[[], bool]] = None,
+                 fault_hook: Optional[Callable[["ClusterMaster"], None]] = None):
+        if n_workers < 1:
+            raise ValueError("need >= 1 worker")
+        if inflight_window < 1:
+            raise ValueError("inflight_window must be >= 1")
+        self.tasks = list(tasks)
+        self.n_tasks = len(self.tasks)
+        self.n_workers = n_workers
+        self.inflight_window = inflight_window
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (heartbeat_timeout
+                                  if heartbeat_timeout is not None
+                                  else 10.0 * heartbeat_interval)
+        self.bind_host = bind_host
+        self.port = port
+        self.spawn_local = spawn_local
+        self.accept_timeout = accept_timeout
+        self.poll_interval = poll_interval
+        self.stop_requested = stop_requested
+        self.fault_hook = fault_hook
+
+        self.workers: dict[int, WorkerHandle] = {}
+        self.ready: deque = deque()
+        #: task key -> worker id (host affinity; re-pinned only on death)
+        self.assignment: dict[Any, int] = {}
+        self.completed = 0
+        self.tasks_dispatched = 0
+        self.results_received = 0
+        self.reassignments = 0
+        self.workers_failed = 0
+        self.stale_results = 0
+        self.inflight_wait_s = 0.0
+        self.wall_time = 0.0
+
+        self._inbox: "queue.Queue[tuple[str, int, Any]]" = queue.Queue()
+        self._procs: dict[int, Any] = {}
+        self._listener: Optional[socket.socket] = None
+        self._readers: list[threading.Thread] = []
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+    def run(self):
+        """Generator: drive every task to completion, yielding each
+        :class:`QuantumResult` as its frame arrives."""
+        started = time.monotonic()
+        self._listen()
+        try:
+            self._spawn()
+            self._accept_workers()
+            self._start_readers()
+            self.ready.extend(self.tasks)
+            self._dispatch()
+            yield from self._event_loop()
+        finally:
+            self.wall_time = time.monotonic() - started
+            self._shutdown()
+
+    def _event_loop(self):
+        while self.completed < self.n_tasks:
+            self._poll_stop()
+            self._check_heartbeats()
+            throttled = bool(self.ready)
+            waited = time.monotonic()
+            try:
+                kind, worker_id, payload = self._inbox.get(
+                    timeout=self.poll_interval)
+            except queue.Empty:
+                if throttled:
+                    self.inflight_wait_s += time.monotonic() - waited
+                continue
+            if throttled:
+                self.inflight_wait_s += time.monotonic() - waited
+            if kind == "dead":
+                self._worker_dead(worker_id, payload)
+                self._dispatch()
+                continue
+            msg = payload
+            if isinstance(msg, ResultMsg):
+                yield from self._on_result(msg)
+                if self.fault_hook is not None:
+                    self.fault_hook(self)
+                self._dispatch()
+            elif isinstance(msg, WorkerFailure):
+                raise ClusterError(
+                    f"worker {worker_id} failed: {msg.error}")
+
+    def _listen(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, self.port))
+        listener.listen(self.n_workers)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+
+    def _spawn(self) -> None:
+        if not self.spawn_local:
+            return
+        import multiprocessing
+
+        from repro.distributed.worker import worker_main
+
+        for worker_id in range(self.n_workers):
+            proc = multiprocessing.Process(
+                target=worker_main,
+                args=(self.bind_host, self.port, worker_id),
+                kwargs={"heartbeat_interval": self.heartbeat_interval},
+                daemon=True, name=f"cluster-worker-{worker_id}")
+            proc.start()
+            self._procs[worker_id] = proc
+
+    def _accept_workers(self) -> None:
+        deadline = time.monotonic() + self.accept_timeout
+        while len(self.workers) < self.n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(
+                    f"only {len(self.workers)}/{self.n_workers} workers "
+                    f"joined within {self.accept_timeout}s")
+            self._listener.settimeout(remaining)
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._handshake(sock, deadline)
+
+    def _handshake(self, sock: socket.socket, deadline: float) -> None:
+        decoder = StreamDecoder()
+        messages: list[Any] = []
+        while not messages:
+            sock.settimeout(max(deadline - time.monotonic(), 0.01))
+            try:
+                data = sock.recv(1 << 16)
+            except socket.timeout:
+                raise ClusterError("worker went silent during handshake")
+            if not data:
+                raise ClusterError("worker hung up during handshake")
+            messages = decoder.feed(data)
+        hello = messages[0]
+        if not isinstance(hello, Hello):
+            raise ClusterError(f"expected Hello, got {hello!r}")
+        if hello.worker_id in self.workers:
+            raise ClusterError(f"duplicate worker id {hello.worker_id}")
+        sock.settimeout(None)
+        handle = WorkerHandle(hello.worker_id, sock,
+                              proc=self._procs.get(hello.worker_id))
+        handle.decoder = decoder
+        decoder.codec = handle.codec
+        self.workers[hello.worker_id] = handle
+        for msg in messages[1:]:
+            if not isinstance(msg, Heartbeat):
+                self._inbox.put(("msg", hello.worker_id, msg))
+
+    def _start_readers(self) -> None:
+        for handle in self.workers.values():
+            thread = threading.Thread(
+                target=self._reader, args=(handle,), daemon=True,
+                name=f"cluster-reader-{handle.worker_id}")
+            thread.start()
+            self._readers.append(thread)
+
+    def _reader(self, handle: WorkerHandle) -> None:
+        """Per-worker reader thread: socket bytes -> inbox messages.
+        Heartbeats are absorbed here (any traffic refreshes liveness)."""
+        while True:
+            try:
+                data = handle.sock.recv(1 << 16)
+            except OSError as exc:
+                self._inbox.put(("dead", handle.worker_id,
+                                 f"recv failed: {exc}"))
+                return
+            if not data:
+                self._inbox.put(("dead", handle.worker_id,
+                                 "connection closed"))
+                return
+            try:
+                messages = handle.decoder.feed(data)
+            except FrameError as exc:
+                self._inbox.put(("dead", handle.worker_id,
+                                 f"stream corrupt: {exc}"))
+                return
+            handle.last_seen = time.monotonic()
+            for msg in messages:
+                if isinstance(msg, Heartbeat):
+                    continue
+                self._inbox.put(("msg", handle.worker_id, msg))
+
+    # -- scheduling ------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Send ready tasks to their pinned (or newly pinned) workers, up
+        to each worker's in-flight window."""
+        while True:
+            sent_any = False
+            backlog, self.ready = self.ready, deque()
+            while backlog:
+                task = backlog.popleft()
+                key = _task_key(task)
+                worker_id = self.assignment.get(key)
+                if worker_id is not None and not self.workers[worker_id].alive:
+                    self.reassignments += 1
+                    self.assignment.pop(key)
+                    worker_id = None
+                if worker_id is None:
+                    # pin only when a window slot is actually free -- an
+                    # eager pin would glue queued tasks to whichever
+                    # worker tie-broke lowest and serialise the run
+                    worker_id = self._least_loaded()
+                    if worker_id is None:
+                        self.ready.append(task)
+                        continue
+                    self.assignment[key] = worker_id
+                handle = self.workers[worker_id]
+                if len(handle.in_flight) >= self.inflight_window:
+                    self.ready.append(task)
+                    continue
+                if self._send_task(handle, task):
+                    sent_any = True
+            if not sent_any or not self.ready:
+                return
+
+    def _least_loaded(self) -> Optional[int]:
+        """The alive worker with the most window headroom (ties to the
+        lowest id), or None when every window is full (or no worker is
+        alive)."""
+        candidates = [h for h in self.workers.values()
+                      if h.alive and len(h.in_flight) < self.inflight_window]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda h: (len(h.in_flight), h.worker_id)).worker_id
+
+    def _send_task(self, handle: WorkerHandle, task: Any) -> bool:
+        handle.in_flight[_task_key(task)] = task
+        self.tasks_dispatched += 1
+        return self._send(handle, TaskMsg(task))
+
+    def _send(self, handle: WorkerHandle, obj: Any) -> bool:
+        frame = handle.codec.encode(obj)
+        started = time.monotonic()
+        try:
+            handle.sock.sendall(frame)
+        except OSError as exc:
+            self._worker_dead(handle.worker_id, f"send failed: {exc}")
+            return False
+        handle.send_blocked_s += time.monotonic() - started
+        return True
+
+    def _on_result(self, msg: ResultMsg):
+        handle = self.workers.get(msg.worker_id)
+        if handle is None or not handle.alive:
+            # the worker was declared dead and its tasks reassigned; the
+            # replayed quantum supersedes this frame
+            self.stale_results += 1
+            return
+        task = msg.task
+        key = _task_key(task)
+        if key not in handle.in_flight:
+            self.stale_results += 1
+            return
+        del handle.in_flight[key]
+        handle.items_done += 1
+        self.results_received += 1
+        if task.done or self._stopping:
+            self.completed += 1
+            self.assignment.pop(key, None)
+        else:
+            self.ready.append(task)
+        for result in msg.results:
+            if result.samples or result.done:
+                yield result
+
+    def _poll_stop(self) -> None:
+        if self._stopping:
+            return
+        if self.stop_requested is not None and self.stop_requested():
+            self._stopping = True
+            # retire everything waiting for a worker slot; in-flight
+            # tasks are retired as their current quantum returns
+            self.completed += len(self.ready)
+            self.ready.clear()
+
+    # -- failure handling ------------------------------------------------
+    def _check_heartbeats(self) -> None:
+        now = time.monotonic()
+        for handle in list(self.workers.values()):
+            if handle.alive and now - handle.last_seen > self.heartbeat_timeout:
+                self._worker_dead(
+                    handle.worker_id,
+                    f"heartbeat timeout ({self.heartbeat_timeout:.1f}s)")
+                self._dispatch()
+
+    def _worker_dead(self, worker_id: int, reason: str) -> None:
+        handle = self.workers.get(worker_id)
+        if handle is None or not handle.alive:
+            return
+        handle.alive = False
+        self.workers_failed += 1
+        try:
+            handle.sock.close()
+        except OSError:
+            pass
+        if handle.proc is not None:
+            _kill_process(handle.proc)
+        # replay every in-flight task from its last acknowledged state;
+        # _dispatch re-pins it to a survivor (counted there)
+        self.ready.extend(handle.in_flight.values())
+        handle.in_flight.clear()
+        if not any(h.alive for h in self.workers.values()):
+            raise ClusterError(
+                f"all workers dead (last: worker {worker_id}: {reason})")
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill a locally spawned worker process (fault injection)."""
+        proc = self._procs.get(worker_id)
+        if proc is None:
+            raise ClusterError(
+                f"worker {worker_id} has no local process to kill")
+        proc.kill()
+
+    # -- teardown --------------------------------------------------------
+    def _shutdown(self) -> None:
+        for handle in self.workers.values():
+            if handle.alive:
+                try:
+                    handle.sock.sendall(handle.codec.encode(Shutdown()))
+                except OSError:
+                    pass
+        for handle in self.workers.values():
+            try:
+                handle.sock.close()
+            except OSError:
+                pass
+        if self._listener is not None:
+            self._listener.close()
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                _kill_process(proc)
+                proc.join(timeout=1.0)
+
+    # -- accounting ------------------------------------------------------
+    def counters(self) -> dict[str, float]:
+        """Run-report counters: scheduler totals plus per-link traffic."""
+        counters: dict[str, float] = {
+            "net.tasks_dispatched": self.tasks_dispatched,
+            "net.results_received": self.results_received,
+            "net.reassignments": self.reassignments,
+            "net.workers_failed": self.workers_failed,
+            "net.stale_results": self.stale_results,
+            "net.inflight_wait_s": self.inflight_wait_s,
+        }
+        totals = {"bytes_out": 0, "bytes_in": 0,
+                  "messages_out": 0, "messages_in": 0}
+        for worker_id, handle in sorted(self.workers.items()):
+            codec = handle.codec
+            prefix = f"net.link.w{worker_id}"
+            counters[f"{prefix}.bytes_out"] = codec.bytes_out
+            counters[f"{prefix}.bytes_in"] = codec.bytes_in
+            counters[f"{prefix}.messages_out"] = codec.messages_out
+            counters[f"{prefix}.messages_in"] = codec.messages_in
+            counters[f"{prefix}.blocked_s"] = handle.send_blocked_s
+            counters[f"net.worker.{worker_id}.items"] = handle.items_done
+            totals["bytes_out"] += codec.bytes_out
+            totals["bytes_in"] += codec.bytes_in
+            totals["messages_out"] += codec.messages_out
+            totals["messages_in"] += codec.messages_in
+        for name, value in totals.items():
+            counters[f"net.{name}"] = value
+        return counters
+
+
+def _kill_process(proc) -> None:
+    try:
+        proc.kill()
+    except (OSError, AttributeError, ValueError):
+        pass
+
+
+class KillWorkerAfter:
+    """Fault injector for tests/demos: SIGKILL one worker after the
+    master has processed ``n_results`` results (from any worker)."""
+
+    def __init__(self, n_results: int, worker_id: int = 0):
+        self.n_results = n_results
+        self.worker_id = worker_id
+        self.fired = False
+        self.master: Optional[ClusterMaster] = None
+
+    def __call__(self, master: ClusterMaster) -> None:
+        self.master = master
+        if not self.fired and master.results_received >= self.n_results:
+            self.fired = True
+            master.kill_worker(self.worker_id)
+
+
+# ----------------------------------------------------------------------
+# workflow integration
+# ----------------------------------------------------------------------
+
+class ClusterSourceNode(SourceNode):
+    """Source stage streaming a :class:`ClusterMaster`'s results into the
+    graph; exports the master's counters to the run report on finish."""
+
+    def __init__(self, master: ClusterMaster, name: str = "cluster-master"):
+        super().__init__(name=name)
+        self.master = master
+
+    def generate(self):
+        return self.master.run()
+
+    def svc_end(self) -> None:
+        for counter, value in self.master.counters().items():
+            if value:
+                self.trace_incr(counter, value)
+
+
+def run_workflow_cluster(model, config, controller=None, tracer=None,
+                         fault_hook=None):
+    """Run the workflow on a real localhost TCP cluster.
+
+    Like :func:`repro.pipeline.run_workflow` with
+    ``config.backend == "cluster"``: tasks execute in
+    ``config.cluster_workers`` (default ``config.n_sim_workers``) worker
+    *processes* reached over real sockets; the alignment/analysis half of
+    the workflow is unchanged.  Results are bit-identical to the
+    ``threads`` backend for the same seeds -- including when workers die
+    mid-run (``fault_hook``, e.g. :class:`KillWorkerAfter`).
+    """
+    from repro.analysis.engines import GatherNode, StatEngineNode
+    from repro.analysis.windows import SlidingWindowNode
+    from repro.ff.executor import run as ff_run
+    from repro.ff.farm import Farm
+    from repro.ff.pipeline import Pipeline
+    from repro.pipeline.builder import WorkflowResult, _CutTee, _ProgressNode
+    from repro.sim.alignment import TrajectoryAligner
+    from repro.sim.task import make_tasks
+
+    tasks = make_tasks(model, config.n_simulations, config.t_end,
+                       config.quantum, config.sample_every,
+                       seed=config.seed, engine=config.engine,
+                       batch_size=config.batch_size)
+    stop_requested = (
+        (lambda: controller.stop_requested) if controller is not None
+        else None)
+    master = ClusterMaster(
+        tasks,
+        n_workers=config.cluster_workers or config.n_sim_workers,
+        inflight_window=config.cluster_inflight,
+        heartbeat_interval=config.heartbeat_interval,
+        heartbeat_timeout=config.heartbeat_timeout,
+        stop_requested=stop_requested,
+        fault_hook=fault_hook)
+    cut_store: Optional[list] = [] if config.keep_cuts else None
+    stages: list = [ClusterSourceNode(master),
+                    TrajectoryAligner(config.n_simulations)]
+    if cut_store is not None:
+        stages.append(_CutTee(cut_store))
+    stages.append(SlidingWindowNode(config.window_size, config.window_slide))
+    stages.append(Farm(
+        [StatEngineNode(kmeans_k=config.kmeans_k,
+                        filter_width=config.filter_width,
+                        histogram_bins=config.histogram_bins,
+                        name=f"stat-eng-{i}")
+         for i in range(config.n_stat_workers)],
+        collector=GatherNode(), ordered=True, name="stat-farm"))
+    if controller is not None:
+        stages.append(_ProgressNode(controller))
+    windows = ff_run(Pipeline(stages, name="cluster-workflow"),
+                     backend="threads", trace=tracer)
+    return WorkflowResult(config=config, windows=windows,
+                          cuts=cut_store or [])

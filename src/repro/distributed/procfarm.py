@@ -7,7 +7,8 @@ simulation engines for process-backed ones: each engine thread submits its
 quantum to a ``ProcessPoolExecutor`` and blocks (releasing the GIL) while
 a worker *process* runs the SSA.  Tasks really cross process boundaries
 (pickled), which is the same serialisation contract as the distributed
-version.
+version.  Reachable from the CLI and :func:`repro.pipeline.run_workflow`
+as ``backend="processes"``.
 """
 
 from __future__ import annotations
@@ -18,13 +19,14 @@ from typing import Optional, Union
 from repro.cwc.model import Model
 from repro.cwc.network import ReactionNetwork
 from repro.ff.node import GO_ON, Node
-from repro.pipeline.builder import WorkflowResult
+from repro.ff.trace import Tracer
+from repro.pipeline.builder import WorkflowResult, build_workflow
 from repro.pipeline.config import WorkflowConfig
 from repro.pipeline.steering import SteeringController
-from repro.sim.task import QuantumResult, SimulationTask
+from repro.sim.task import BatchSimulationTask, SimulationTask
 
 
-def _run_quantum(task: SimulationTask) -> tuple[SimulationTask, QuantumResult]:
+def _run_quantum(task):
     """Executed in a worker process: one quantum, state returned."""
     result = task.run_quantum()
     return task, result
@@ -40,58 +42,47 @@ class ProcessSimEngineNode(Node):
         self.pool = pool
         self.quanta_executed = 0
 
-    def svc(self, task: SimulationTask):
-        updated, result = self.pool.submit(_run_quantum, task).result()
+    def svc_init(self) -> None:
+        self.quanta_executed = 0
+
+    def svc(self, task: Union[SimulationTask, BatchSimulationTask]):
+        steps_before = task.steps
+        updated, outcome = self.pool.submit(_run_quantum, task).result()
         self.quanta_executed += 1
-        if result.samples or result.done:
-            self.ff_send_out(result)
+        steps = updated.steps - steps_before
+        # a batch task yields one QuantumResult per member trajectory
+        results = outcome if isinstance(outcome, list) else [outcome]
+        retired = 0
+        for result in results:
+            if result.done:
+                retired += 1
+            if result.samples or result.done:
+                self.ff_send_out(result)
+        self.trace_incr("sim.steps", steps)
+        self.trace_incr("sim.quanta", 1)
+        self.trace_incr("proc.quanta_offloaded", 1)
+        if retired:
+            self.trace_incr("sim.trajectories_retired", retired)
         self.send_feedback(updated)
         return GO_ON
 
 
 def run_workflow_multiprocess(model: Union[Model, ReactionNetwork],
                               config: WorkflowConfig,
-                              controller: Optional[SteeringController] = None
+                              controller: Optional[SteeringController] = None,
+                              tracer: Optional[Tracer] = None
                               ) -> WorkflowResult:
     """Like :func:`repro.pipeline.run_workflow`, with process-backed
     simulation engines.  Requires a picklable model (all bundled models
     are; avoid lambda rate laws)."""
     from repro.ff.executor import run as ff_run
-    from repro.ff.farm import Farm
-    from repro.sim.alignment import TrajectoryAligner
-    from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
-    from repro.analysis.engines import GatherNode, StatEngineNode
-    from repro.analysis.windows import SlidingWindowNode
-    from repro.ff.pipeline import Pipeline
 
     cut_store: Optional[list] = [] if config.keep_cuts else None
     with ProcessPoolExecutor(max_workers=config.n_sim_workers) as pool:
-        generator = TaskGenerator(
-            model, config.n_simulations, config.t_end, config.quantum,
-            config.sample_every, seed=config.seed, engine=config.engine)
-        stop_requested = (
-            (lambda: controller.stop_requested) if controller is not None
-            else None)
-        sim_farm = Farm(
-            [ProcessSimEngineNode(pool, name=f"psim-eng-{i}")
-             for i in range(config.n_sim_workers)],
-            emitter=SimTaskEmitter(stop_requested=stop_requested),
-            collector=TrajectoryAligner(config.n_simulations),
-            feedback=True, scheduling=config.scheduling, name="psim-farm")
-        stages: list = [generator, sim_farm]
-        if cut_store is not None:
-            from repro.pipeline.builder import _CutTee
-            stages.append(_CutTee(cut_store))
-        stages.append(SlidingWindowNode(config.window_size,
-                                        config.window_slide))
-        stages.append(Farm(
-            [StatEngineNode(kmeans_k=config.kmeans_k,
-                            filter_width=config.filter_width,
-                            histogram_bins=config.histogram_bins,
-                            name=f"stat-eng-{i}")
-             for i in range(config.n_stat_workers)],
-            collector=GatherNode(), ordered=True, name="stat-farm"))
-        windows = ff_run(Pipeline(stages, name="mp-workflow"),
-                         backend="threads")
+        workflow = build_workflow(
+            model, config, controller=controller, cut_store=cut_store,
+            engine_factory=lambda i: ProcessSimEngineNode(
+                pool, name=f"psim-eng-{i}"))
+        windows = ff_run(workflow, backend="threads", trace=tracer)
     return WorkflowResult(config=config, windows=windows,
                           cuts=cut_store or [])

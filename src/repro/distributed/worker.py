@@ -1,0 +1,180 @@
+"""repro.distributed.worker: the cluster worker process.
+
+One worker = one TCP connection to the master = one simulation lane.  The
+loop is deliberately dumb -- all scheduling intelligence (affinity,
+windows, reassignment) lives master-side:
+
+1. connect to the master and send :class:`~repro.distributed.net.Hello`;
+2. start a heartbeat thread
+   (:class:`~repro.distributed.net.Heartbeat` every ``interval`` seconds);
+3. for every :class:`~repro.distributed.net.TaskMsg`: run **one**
+   simulation quantum and send a single
+   :class:`~repro.distributed.net.ResultMsg` frame carrying the advanced
+   task state *and* the quantum results (atomic: the master never sees
+   one without the other);
+4. exit on :class:`~repro.distributed.net.Shutdown` or connection loss.
+
+Localhost clusters spawn this via ``multiprocessing``
+(:class:`~repro.distributed.net.ClusterMaster` does it for you).  For
+**remote hosts**, start the master with ``spawn_local=False`` and a
+public ``bind_host``, then on each remote machine run::
+
+    python -m repro.distributed.worker --connect MASTER_HOST:PORT --id K
+
+with a distinct ``--id`` per worker (ids are the master's scheduling
+handle; duplicates are rejected).  The machines only need this package
+importable and TCP reachability to the master -- frames are
+length-prefixed, checksummed pickles (:mod:`repro.distributed.message`),
+so both ends must run compatible Python/package versions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro.distributed.message import FrameCodec, FrameError, StreamDecoder
+from repro.distributed.net import (
+    Heartbeat,
+    Hello,
+    ResultMsg,
+    Shutdown,
+    TaskMsg,
+    WorkerFailure,
+)
+
+
+def _connect(host: str, port: int, retries: int = 50,
+             delay: float = 0.1) -> socket.socket:
+    """Connect with retries: a spawned worker may beat the master's
+    accept loop (never its listen, which is up before spawning)."""
+    last: Optional[OSError] = None
+    for _ in range(retries):
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise ConnectionError(
+        f"cannot reach master at {host}:{port} after {retries} tries: {last}")
+
+
+def worker_main(host: str, port: int, worker_id: int,
+                heartbeat_interval: float = 0.5) -> int:
+    """Run the worker loop until shutdown; returns quanta executed."""
+    sock = _connect(host, port)
+    codec = FrameCodec(name=f"worker{worker_id}")
+    send_lock = threading.Lock()
+
+    def send(obj) -> None:
+        frame = codec.encode(obj)
+        with send_lock:
+            sock.sendall(frame)
+
+    send(Hello(worker_id, os.getpid()))
+    stop_heartbeats = threading.Event()
+
+    def heartbeats() -> None:
+        seq = 0
+        while not stop_heartbeats.wait(heartbeat_interval):
+            seq += 1
+            try:
+                send(Heartbeat(worker_id, seq))
+            except OSError:
+                return
+
+    threading.Thread(target=heartbeats, daemon=True,
+                     name=f"worker-{worker_id}-heartbeat").start()
+
+    decoder = StreamDecoder(codec=codec)
+    quanta = 0
+    try:
+        while True:
+            try:
+                data = sock.recv(1 << 16)
+            except OSError:
+                break
+            if not data:
+                break  # master hung up: the run is over (or it died)
+            try:
+                messages = decoder.feed(data)
+            except FrameError as exc:
+                _try_send(send, WorkerFailure(worker_id,
+                                              f"stream corrupt: {exc}"))
+                break
+            done = False
+            for msg in messages:
+                if isinstance(msg, Shutdown):
+                    done = True
+                    break
+                if isinstance(msg, TaskMsg):
+                    quanta += _run_one(send, worker_id, msg.task)
+            if done:
+                break
+    finally:
+        stop_heartbeats.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return quanta
+
+
+def _run_one(send, worker_id: int, task) -> int:
+    """Advance ``task`` one quantum and ship state+results atomically."""
+    try:
+        outcome = task.run_quantum()
+    except Exception as exc:  # noqa: BLE001 - reported to the master
+        _try_send(send, WorkerFailure(
+            worker_id, f"{type(exc).__name__}: {exc}"))
+        raise
+    # a batch task yields one QuantumResult per member trajectory
+    results = tuple(outcome) if isinstance(outcome, list) else (outcome,)
+    send(ResultMsg(worker_id, task, results))
+    return 1
+
+
+def _try_send(send, obj) -> None:
+    try:
+        send(obj)
+    except OSError:
+        pass
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.distributed.worker",
+        description="CWC cluster worker: connect to a master and run "
+                    "simulation quanta (see module docstring for the "
+                    "remote-host protocol)")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="master address, e.g. 10.0.0.1:7000")
+    parser.add_argument("--id", type=int, required=True, dest="worker_id",
+                        help="unique worker id within the cluster")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5,
+                        help="seconds between liveness beacons")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"invalid --connect {args.connect!r}: expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+    quanta = worker_main(host, int(port), args.worker_id,
+                         heartbeat_interval=args.heartbeat_interval)
+    print(f"worker {args.worker_id}: {quanta} quanta executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.analysis.engines import GatherNode, StatEngineNode, WindowStatistics
 from repro.analysis.stats import CutStatistics
@@ -89,13 +89,20 @@ class WorkflowResult:
 def build_workflow(model: Union[Model, ReactionNetwork],
                    config: WorkflowConfig,
                    controller: Optional[SteeringController] = None,
-                   cut_store: Optional[list] = None) -> Pipeline:
+                   cut_store: Optional[list] = None,
+                   engine_factory: Optional[Callable[[int], Node]] = None
+                   ) -> Pipeline:
     """Wire the paper's Fig. 2 architecture for ``model``.
 
     The returned :class:`~repro.ff.pipeline.Pipeline` streams
     :class:`~repro.analysis.engines.WindowStatistics` objects as its
     output; run it with :func:`repro.ff.run` or via :func:`run_workflow`.
+    ``engine_factory`` (index -> worker node) swaps the simulation engine
+    implementation -- the process-backed farm uses it to substitute
+    :class:`~repro.distributed.procfarm.ProcessSimEngineNode`.
     """
+    if engine_factory is None:
+        engine_factory = lambda i: SimEngineNode(name=f"sim-eng-{i}")  # noqa: E731
     generator = TaskGenerator(
         model, config.n_simulations, config.t_end, config.quantum,
         config.sample_every, seed=config.seed, engine=config.engine,
@@ -104,8 +111,7 @@ def build_workflow(model: Union[Model, ReactionNetwork],
         (lambda: controller.stop_requested) if controller is not None
         else None)
     sim_farm = Farm(
-        [SimEngineNode(name=f"sim-eng-{i}")
-         for i in range(config.n_sim_workers)],
+        [engine_factory(i) for i in range(config.n_sim_workers)],
         emitter=SimTaskEmitter(stop_requested=stop_requested),
         collector=TrajectoryAligner(config.n_simulations),
         feedback=True,
@@ -144,15 +150,33 @@ def run_workflow(model: Union[Model, ReactionNetwork],
     :class:`~repro.ff.trace.RunReport` lands in
     :attr:`WorkflowResult.trace_report` and, when
     ``config.trace_report_path`` is set, as a JSON file on disk.
+
+    ``config.backend`` selects the runtime: the in-process executors
+    (``"threads"`` / ``"sequential"``), the process-pool simulation farm
+    (``"processes"``, :mod:`repro.distributed.procfarm`) or the real TCP
+    master/worker cluster (``"cluster"``, :mod:`repro.distributed.net`).
+    All of them produce bit-identical results for the same seeds.
     """
-    cut_store: Optional[list] = [] if config.keep_cuts else None
-    workflow = build_workflow(model, config, controller=controller,
-                              cut_store=cut_store)
     if tracer is None and config.trace:
         tracer = Tracer()
-    windows = ff_run(workflow, backend=config.backend, trace=tracer)
-    report = tracer.report() if tracer is not None else None
-    if report is not None and config.trace_report_path:
-        report.save(config.trace_report_path)
-    return WorkflowResult(config=config, windows=windows,
-                          cuts=cut_store or [], trace_report=report)
+    if config.backend == "processes":
+        from repro.distributed.procfarm import run_workflow_multiprocess
+        result = run_workflow_multiprocess(model, config,
+                                           controller=controller,
+                                           tracer=tracer)
+    elif config.backend == "cluster":
+        from repro.distributed.net import run_workflow_cluster
+        result = run_workflow_cluster(model, config, controller=controller,
+                                      tracer=tracer)
+    else:
+        cut_store: Optional[list] = [] if config.keep_cuts else None
+        workflow = build_workflow(model, config, controller=controller,
+                                  cut_store=cut_store)
+        windows = ff_run(workflow, backend=config.backend, trace=tracer)
+        result = WorkflowResult(config=config, windows=windows,
+                                cuts=cut_store or [])
+    if tracer is not None:
+        result.trace_report = tracer.report()
+        if config.trace_report_path:
+            result.trace_report.save(config.trace_report_path)
+    return result

@@ -33,14 +33,34 @@ class WorkflowConfig:
     engine: str = "auto"          # "flat" | "cwc" | "auto" | "batch"
     batch_size: int = 64          # trajectories per block (engine="batch")
     scheduling: str = "ondemand"  # farm dispatch policy
-    backend: str = "threads"      # "threads" | "sequential"
+    #: "threads" | "sequential" (in-process executors), "processes"
+    #: (thread runtime + process-pool simulation engines) or "cluster"
+    #: (real TCP master/worker runtime, repro.distributed.net)
+    backend: str = "threads"
     keep_cuts: bool = False       # retain raw cuts (memory!) for examples
     trace: bool = False           # record runtime metrics (run report)
     trace_report_path: Optional[str] = None  # write the JSON report here
+    # -- cluster backend knobs (backend="cluster") ----------------------
+    cluster_workers: Optional[int] = None  # None -> n_sim_workers
+    cluster_inflight: int = 2     # bounded in-flight window per worker
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: Optional[float] = None  # None -> 10 * interval
+
+    BACKENDS = ("threads", "sequential", "processes", "cluster")
 
     def __post_init__(self) -> None:
         if self.n_simulations < 1:
             raise ValueError("n_simulations must be >= 1")
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; pick one of "
+                f"{', '.join(self.BACKENDS)}")
+        if self.cluster_workers is not None and self.cluster_workers < 1:
+            raise ValueError("cluster_workers must be >= 1")
+        if self.cluster_inflight < 1:
+            raise ValueError("cluster_inflight must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.t_end <= 0 or self.sample_every <= 0 or self.quantum <= 0:

@@ -59,8 +59,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=64,
                         help="trajectories per lockstep block "
                              "(--engine batch)")
-    parser.add_argument("--backend", choices=("threads", "sequential"),
-                        default="threads")
+    parser.add_argument("--backend",
+                        choices=("threads", "sequential", "processes",
+                                 "cluster"),
+                        default="threads",
+                        help="runtime: in-process executors (threads/"
+                             "sequential), process-pool simulation "
+                             "engines (processes) or the real TCP "
+                             "master/worker cluster (cluster)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="cluster worker processes "
+                             "(--backend cluster; default: --sim-workers)")
+    parser.add_argument("--inflight", type=int, default=2,
+                        help="bounded in-flight tasks per cluster worker "
+                             "(backpressure window)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-window progress lines")
     parser.add_argument("--trace", action="store_true",
@@ -85,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
         histogram_bins=args.histogram,
         seed=args.seed, engine=args.engine, batch_size=args.batch_size,
         backend=args.backend, keep_cuts=True,
+        cluster_workers=args.workers, cluster_inflight=args.inflight,
         trace=args.trace or args.trace_report is not None,
         trace_report_path=args.trace_report)
 

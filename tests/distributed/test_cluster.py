@@ -79,3 +79,21 @@ class TestDistributedWorkflow:
     def test_lane_validation(self):
         with pytest.raises(ValueError):
             VirtualHost("bad", lanes=0)
+
+    def test_trace_records_wire_counters(self, neurospora_small):
+        """``--trace`` on the virtual cluster: per-host wire traffic and
+        the sim counters land in the run report, and the byte counts
+        agree with the link meters."""
+        result = DistributedWorkflow(
+            neurospora_small, config(trace=True),
+            hosts=[VirtualHost("h0", lanes=1), VirtualHost("h1", lanes=1)],
+        ).run()
+        report = result.workflow.trace_report
+        assert report is not None
+        counters = report.counters
+        assert counters["net.messages"] == result.total_messages()
+        assert counters["net.bytes"] == result.total_bytes()
+        assert (counters["net.host.h0.bytes"] + counters["net.host.h1.bytes"]
+                == counters["net.bytes"])
+        assert counters["sim.quanta"] > 0
+        assert counters["sim.steps"] > 0

@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.distributed.message import (
     FrameCodec,
     FrameError,
+    StreamDecoder,
     decode_frame,
     decode_stream,
     encode_frame,
@@ -90,3 +91,80 @@ class TestCodecAccounting:
 
     def test_mean_size_empty(self):
         assert FrameCodec().mean_message_size() == 0.0
+
+
+class TestStreamDecoder:
+    """Partial-read buffering: the property sockets need (decode_frame
+    raises on short reads; StreamDecoder waits for the rest)."""
+
+    def test_whole_frame(self):
+        decoder = StreamDecoder()
+        assert decoder.feed(encode_frame({"a": 1})) == [{"a": 1}]
+        assert decoder.pending_bytes == 0
+
+    def test_truncated_header_buffers(self):
+        decoder = StreamDecoder()
+        frame = encode_frame("hello")
+        assert decoder.feed(frame[:4]) == []          # mid-header
+        assert decoder.pending_bytes == 4
+        assert decoder.feed(frame[4:]) == ["hello"]
+        assert decoder.pending_bytes == 0
+
+    def test_truncated_payload_buffers(self):
+        decoder = StreamDecoder()
+        frame = encode_frame(list(range(50)))
+        assert decoder.feed(frame[:-7]) == []         # mid-payload
+        assert decoder.feed(frame[-7:]) == [list(range(50))]
+
+    def test_byte_at_a_time(self):
+        decoder = StreamDecoder()
+        out = []
+        for i, byte in enumerate(encode_frame(("x", 2.5))):
+            out.extend(decoder.feed(bytes([byte])))
+        assert out == [("x", 2.5)]
+
+    def test_multi_frame_coalesced_read(self):
+        decoder = StreamDecoder()
+        data = encode_frame(1) + encode_frame("two") + encode_frame([3])
+        assert decoder.feed(data) == [1, "two", [3]]
+        assert decoder.frames_decoded == 3
+
+    def test_coalesced_plus_partial_tail(self):
+        decoder = StreamDecoder()
+        tail = encode_frame("tail")
+        data = encode_frame("head") + tail[:5]
+        assert decoder.feed(data) == ["head"]
+        assert decoder.pending_bytes == 5
+        assert decoder.feed(tail[5:]) == ["tail"]
+
+    def test_corrupted_checksum_raises(self):
+        decoder = StreamDecoder()
+        frame = bytearray(encode_frame("payload data"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(FrameError, match="checksum"):
+            decoder.feed(bytes(frame))
+
+    def test_bad_magic_raises(self):
+        decoder = StreamDecoder()
+        with pytest.raises(FrameError, match="magic"):
+            decoder.feed(b"XXjunk that is not a frame header")
+
+    def test_codec_accounting(self):
+        codec = FrameCodec("rx")
+        decoder = StreamDecoder(codec=codec)
+        frame = encode_frame([1, 2, 3])
+        decoder.feed(frame[:3])
+        decoder.feed(frame[3:])
+        assert codec.messages_in == 1
+        assert codec.bytes_in == len(frame)
+
+    @given(st.lists(payloads, max_size=5), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_any_chunking_reassembles(self, objs, chunk):
+        data = b"".join(encode_frame(o) for o in objs)
+        decoder = StreamDecoder()
+        out = []
+        for i in range(0, len(data), chunk):
+            out.extend(decoder.feed(data[i:i + chunk]))
+        assert out == objs
+        assert decoder.pending_bytes == 0

@@ -32,3 +32,24 @@ class TestProcessFarm:
         cfg = config(n_simulations=2, t_end=2.0, engine="cwc")
         result = run_workflow_multiprocess(neurospora_cwc_small, cfg)
         assert result.n_windows >= 1
+
+
+class TestBackendDispatch:
+    def test_reachable_as_processes_backend(self, neurospora_small):
+        """``backend="processes"`` in run_workflow is the same runtime."""
+        threaded = run_workflow(neurospora_small, config())
+        processed = run_workflow(neurospora_small,
+                                 config(backend="processes"))
+        assert [(s.grid_index, s.mean) for s in threaded.cut_statistics()] \
+            == [(s.grid_index, s.mean) for s in processed.cut_statistics()]
+
+    def test_trace_covers_process_backend(self, neurospora_small):
+        """``--trace`` works through the process farm: the domain
+        counters (sim.* plus the offload counter) land in the report."""
+        result = run_workflow(neurospora_small,
+                              config(backend="processes", trace=True))
+        counters = result.trace_report.counters
+        assert counters["sim.trajectories_retired"] == 4
+        assert counters["sim.quanta"] >= 4
+        assert counters["sim.steps"] > 0
+        assert counters["proc.quanta_offloaded"] == counters["sim.quanta"]

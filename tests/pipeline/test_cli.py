@@ -22,6 +22,19 @@ class TestArgParser:
             args = parser.parse_args(["--model", model])
             assert args.model == model
 
+    def test_all_backends_listed(self):
+        parser = build_arg_parser()
+        for backend in ("threads", "sequential", "processes", "cluster"):
+            args = parser.parse_args(["--backend", backend])
+            assert args.backend == backend
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--backend", "telepathy"])
+
+    def test_cluster_knobs(self):
+        args = build_arg_parser().parse_args(
+            ["--backend", "cluster", "--workers", "3", "--inflight", "4"])
+        assert args.workers == 3 and args.inflight == 4
+
 
 class TestMain:
     def test_small_run(self, capsys):
@@ -65,6 +78,27 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "bottleneck:" in out
+
+    def test_processes_backend_runs(self, capsys):
+        code = main(["--model", "enzyme", "--simulations", "4",
+                     "--t-end", "5", "--quantum", "1",
+                     "--sample-every", "0.5", "--window", "4",
+                     "--sim-workers", "2", "--quiet",
+                     "--backend", "processes"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windows" in out and "trajectories" in out
+
+    def test_cluster_backend_runs(self, capsys):
+        code = main(["--model", "enzyme", "--simulations", "4",
+                     "--t-end", "5", "--quantum", "1",
+                     "--sample-every", "0.5", "--window", "4",
+                     "--sim-workers", "2", "--quiet",
+                     "--backend", "cluster", "--workers", "2", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windows" in out
+        assert "net.results_received" in out  # cluster counters in report
 
     def test_trace_report_written(self, tmp_path, capsys):
         import json
