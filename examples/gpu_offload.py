@@ -21,7 +21,7 @@ from repro.models import neurospora_network
 from repro.perfsim import CostModel
 from repro.sim.alignment import TrajectoryAligner
 from repro.sim.task import make_batch_tasks
-from repro.sim.trajectory import assemble_trajectories
+from repro.sim.trajectory import assemble_trajectories, iter_cuts
 
 
 def functional_offload() -> None:
@@ -33,7 +33,8 @@ def functional_offload() -> None:
                              sample_every=0.5, seed=2, batch_size=n)
     farm = Farm([MapCUDANode(device)], emitter=BlockEmitter(n_devices=1),
                 collector=TrajectoryAligner(n), feedback=True)
-    cuts = run(Pipeline([tasks, farm]), backend="sequential")
+    cuts = list(iter_cuts(run(Pipeline([tasks, farm]),
+                              backend="sequential")))
     trajectories = assemble_trajectories(cuts, n)
     print(f"offloaded {n} trajectories x {t_end:.0f} h: "
           f"{len(cuts)} aligned cuts, "

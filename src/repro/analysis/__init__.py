@@ -8,10 +8,24 @@ oscillation-period mining (the quantity the paper's cloud experiment
 reports: "the moving average ... of the local period").
 """
 
-from repro.analysis.stats import OnlineStats, cut_statistics, CutStatistics
-from repro.analysis.windows import Window, SlidingWindowNode
-from repro.analysis.kmeans import kmeans, KMeansResult
-from repro.analysis.filters import moving_average, exponential_smoothing
+from repro.analysis.stats import (
+    OnlineStats,
+    CutStatistics,
+    block_statistics,
+    cut_statistics,
+)
+from repro.analysis.windows import (
+    ScalarSlidingWindowNode,
+    SlidingWindowNode,
+    Window,
+)
+from repro.analysis.kmeans import kmeans, kmeans_array, KMeansResult
+from repro.analysis.filters import (
+    exponential_smoothing,
+    exponential_smoothing_block,
+    moving_average,
+    moving_average_array,
+)
 from repro.analysis.peaks import (
     find_peaks,
     local_periods,
@@ -22,6 +36,7 @@ from repro.analysis.engines import StatEngineNode, WindowStatistics, GatherNode
 from repro.analysis.histogram import Histogram, histogram
 from repro.analysis.periodogram import (
     autocorrelation,
+    autocorrelation_array,
     period_by_autocorrelation,
     AcfPeriod,
 )
@@ -29,13 +44,18 @@ from repro.analysis.periodogram import (
 __all__ = [
     "OnlineStats",
     "cut_statistics",
+    "block_statistics",
     "CutStatistics",
     "Window",
     "SlidingWindowNode",
+    "ScalarSlidingWindowNode",
     "kmeans",
+    "kmeans_array",
     "KMeansResult",
     "moving_average",
+    "moving_average_array",
     "exponential_smoothing",
+    "exponential_smoothing_block",
     "find_peaks",
     "local_periods",
     "PeriodEstimate",
@@ -46,6 +66,7 @@ __all__ = [
     "Histogram",
     "histogram",
     "autocorrelation",
+    "autocorrelation_array",
     "period_by_autocorrelation",
     "AcfPeriod",
 ]

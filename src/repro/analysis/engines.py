@@ -15,8 +15,9 @@ from typing import Optional
 
 from repro.analysis.filters import moving_average
 from repro.analysis.histogram import Histogram, histogram
-from repro.analysis.kmeans import KMeansResult, kmeans
-from repro.analysis.stats import CutStatistics, cut_statistics
+from repro.analysis.kmeans import KMeansResult, kmeans, kmeans_array
+from repro.analysis.stats import (CutStatistics, block_statistics,
+                                  cut_statistics)
 from repro.analysis.windows import Window
 from repro.ff.node import Node
 
@@ -51,12 +52,20 @@ class StatEngineNode(Node):
 
     ``kmeans_k`` enables trajectory clustering (``None`` disables);
     ``filter_width`` enables moving-average smoothing of the window mean.
+
+    ``vectorized=True`` (default) runs the columnar engines: per-cut
+    statistics come from the window's precomputed ``cut_stats`` when the
+    sliding window attached them (computed once per cut, shared by every
+    overlapping window) or from one :func:`block_statistics` reduction,
+    and clustering uses the bit-identical :func:`kmeans_array`.
+    ``vectorized=False`` keeps the per-sample scalar oracles.
     """
 
     def __init__(self, kmeans_k: Optional[int] = None,
                  filter_width: Optional[int] = None,
                  histogram_bins: Optional[int] = None,
                  kmeans_seed: int = 0,
+                 vectorized: bool = True,
                  name: str = "stat-eng"):
         super().__init__(name=name)
         if kmeans_k is not None and kmeans_k < 1:
@@ -68,34 +77,55 @@ class StatEngineNode(Node):
         self.filter_width = filter_width
         self.histogram_bins = histogram_bins
         self.kmeans_seed = kmeans_seed
+        self.vectorized = vectorized
         self.windows_processed = 0
 
     def svc_init(self) -> None:
         self.windows_processed = 0
 
+    def _window_stats(self, window: Window) -> list[CutStatistics]:
+        if not self.vectorized:
+            return [cut_statistics(cut) for cut in window.cuts]
+        stats = getattr(window, "cut_stats", None)
+        if stats is not None:
+            return list(stats)
+        data = getattr(window, "data", None)
+        if data is None:  # duck-typed window without columnar arrays
+            return [cut_statistics(cut) for cut in window.cuts]
+        return block_statistics(window.grid_indices, window.times, data)
+
     def svc(self, window: Window) -> WindowStatistics:
-        stats = [cut_statistics(cut) for cut in window.cuts]
+        stats = self._window_stats(window)
         result = WindowStatistics(
             window_index=window.index,
             start_time=window.start_time,
             end_time=window.end_time,
             cuts=stats)
         n_observables = len(stats[0].mean) if stats else 0
-        if self.kmeans_k is not None and window.cuts:
-            last = window.cuts[-1]
+        if self.kmeans_k is not None and stats:
             for obs in range(n_observables):
-                points = [(v,) for v in last.observable(obs)]
-                result.clusters[obs] = kmeans(
-                    points, self.kmeans_k, seed=self.kmeans_seed)
+                if self.vectorized:
+                    clustered = kmeans_array(
+                        window.data[-1, :, obs], self.kmeans_k,
+                        seed=self.kmeans_seed)
+                else:
+                    last = window.cuts[-1]
+                    points = [(v,) for v in last.observable(obs)]
+                    clustered = kmeans(
+                        points, self.kmeans_k, seed=self.kmeans_seed)
+                result.clusters[obs] = clustered
+                self.trace_incr("analysis.kmeans_iterations",
+                                clustered.iterations)
         if self.filter_width is not None:
             for obs in range(n_observables):
                 result.filtered_mean[obs] = moving_average(
                     result.mean_series(obs), self.filter_width)
-        if self.histogram_bins is not None and window.cuts:
-            last = window.cuts[-1]
+        if self.histogram_bins is not None and stats:
             for obs in range(n_observables):
+                column = (window.data[-1, :, obs] if self.vectorized
+                          else window.cuts[-1].observable(obs))
                 result.histograms[obs] = histogram(
-                    last.observable(obs), n_bins=self.histogram_bins)
+                    column, n_bins=self.histogram_bins)
         self.windows_processed += 1
         return result
 

@@ -1,28 +1,38 @@
 """Smoothing filters for trajectory series (the ``filtered simulation
-results`` of Fig. 2)."""
+results`` of Fig. 2).
+
+``moving_average`` is cumsum-based (NumPy): the prefix sums accumulate
+left-to-right exactly like the historical Python loop, so outputs are
+bit-identical to the scalar reference while running as one array op.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
 
-def moving_average(values: Sequence[float], width: int) -> list[float]:
-    """Centred moving average; the window is truncated at the borders so
-    the output has the same length as the input."""
+
+def moving_average_array(values, width: int) -> np.ndarray:
+    """Centred moving average as a NumPy array; the window is truncated
+    at the borders so the output has the same length as the input."""
     if width < 1:
         raise ValueError(f"width must be >= 1, got {width}")
+    series = np.asarray(values, dtype=float)
+    n = len(series)
+    if n == 0:
+        return series.copy()
     half = width // 2
-    out = []
-    n = len(values)
-    # prefix sums for O(n)
-    prefix = [0.0]
-    for v in values:
-        prefix.append(prefix[-1] + v)
-    for i in range(n):
-        lo = max(0, i - half)
-        hi = min(n, i + half + 1)
-        out.append((prefix[hi] - prefix[lo]) / (hi - lo))
-    return out
+    prefix = np.concatenate(([0.0], np.cumsum(series)))
+    idx = np.arange(n)
+    lo = np.maximum(0, idx - half)
+    hi = np.minimum(n, idx + half + 1)
+    return (prefix[hi] - prefix[lo]) / (hi - lo)
+
+
+def moving_average(values: Sequence[float], width: int) -> list[float]:
+    """Centred moving average; see :func:`moving_average_array`."""
+    return moving_average_array(values, width).tolist()
 
 
 def exponential_smoothing(values: Sequence[float],
@@ -35,4 +45,25 @@ def exponential_smoothing(values: Sequence[float],
     for v in values:
         state = v if state is None else alpha * v + (1 - alpha) * state
         out.append(state)
+    return out
+
+
+def exponential_smoothing_block(series: np.ndarray,
+                                alpha: float) -> np.ndarray:
+    """Exponential smoothing of many series at once (rows = series).
+
+    The recurrence is inherently sequential in time but vectorises
+    across series: one array op per time step instead of one Python op
+    per sample."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    block = np.asarray(series, dtype=float)
+    if block.ndim != 2:
+        raise ValueError(f"expected 2-D (series, time), got {block.shape}")
+    out = np.empty_like(block)
+    if block.shape[1] == 0:
+        return out
+    out[:, 0] = block[:, 0]
+    for t in range(1, block.shape[1]):
+        out[:, t] = alpha * block[:, t] + (1 - alpha) * out[:, t - 1]
     return out

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 
 @dataclass
 class Histogram:
@@ -61,19 +63,17 @@ def histogram(values: Sequence[float], n_bins: int = 20,
     """
     if n_bins < 1:
         raise ValueError(f"n_bins must be >= 1, got {n_bins}")
-    if not values:
+    if len(values) == 0:
         raise ValueError("cannot histogram an empty sample")
-    lo = min(values) if low is None else low
-    hi = max(values) if high is None else high
+    sample = np.asarray(values, dtype=float)
+    lo = float(sample.min()) if low is None else low
+    hi = float(sample.max()) if high is None else high
     if hi <= lo:
         hi = lo + 1.0
-    counts = [0] * n_bins
     width = (hi - lo) / n_bins
-    for v in values:
-        index = int((v - lo) / width)
-        if index < 0:
-            index = 0
-        elif index >= n_bins:
-            index = n_bins - 1
-        counts[index] += 1
-    return Histogram(low=lo, high=hi, counts=counts)
+    # truncation toward zero matches the scalar int() cast; out-of-range
+    # values are clamped into the edge bins exactly as before
+    indices = ((sample - lo) / width).astype(np.int64)
+    np.clip(indices, 0, n_bins - 1, out=indices)
+    counts = np.bincount(indices, minlength=n_bins)
+    return Histogram(low=lo, high=hi, counts=counts.tolist())

@@ -2,10 +2,16 @@
 
 Clustering the per-cut (or per-window) trajectory values discovers
 multi-stable behaviour on-line: for a bistable system the cuts separate
-into two clusters long before a human would spot it in raw traces.  The
-implementation is Lloyd's algorithm with k-means++ seeding, on plain
-Python lists (points are short vectors: one value per observable, or a
-window row per trajectory).
+into two clusters long before a human would spot it in raw traces.
+
+Two implementations of Lloyd's algorithm with k-means++ seeding:
+
+* :func:`kmeans` -- the scalar reference on plain Python lists;
+* :func:`kmeans_array` -- the vectorised NumPy engine (broadcast distance
+  matrices, ``bincount`` centroid updates).  It consumes the RNG in the
+  same order and accumulates floating point in the same order as the
+  scalar reference, so results are **bit-identical** for a fixed seed
+  (pinned by the determinism tests).
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import math
 import random
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 
 @dataclass
@@ -77,6 +85,7 @@ def kmeans(points: Sequence[Sequence[float]], k: int,
     rng = random.Random(seed)
     centroids = _seed_centroids(points, k, rng)
     assignments = [0] * len(points)
+    best_ds = [0.0] * len(points)
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         moved = False
@@ -86,6 +95,7 @@ def kmeans(points: Sequence[Sequence[float]], k: int,
                 d = _sq_distance(point, centroid)
                 if d < best_d:
                     best, best_d = j, d
+            best_ds[i] = best_d
             if assignments[i] != best:
                 assignments[i] = best
                 moved = True
@@ -100,10 +110,10 @@ def kmeans(points: Sequence[Sequence[float]], k: int,
         shift = 0.0
         for j in range(k):
             if counts[j] == 0:
-                # re-seed an empty cluster at the farthest point
-                far_i = max(range(len(points)),
-                            key=lambda i: _sq_distance(
-                                points[i], centroids[assignments[i]]))
+                # re-seed an empty cluster at the point farthest from its
+                # assigned centroid, reusing the distances of the
+                # assignment pass (no second distance scan)
+                far_i = max(range(len(points)), key=lambda i: best_ds[i])
                 new = list(points[far_i])
             else:
                 new = [s / counts[j] for s in sums[j]]
@@ -115,4 +125,108 @@ def kmeans(points: Sequence[Sequence[float]], k: int,
         _sq_distance(point, centroids[a])
         for point, a in zip(points, assignments))
     return KMeansResult(centroids=centroids, assignments=assignments,
+                        inertia=inertia, iterations=iterations)
+
+
+# ----------------------------------------------------------------------
+# vectorised engine
+# ----------------------------------------------------------------------
+
+def _pairwise_sq(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """``(n, k)`` squared distances; dims accumulated one at a time so the
+    floating-point summation order matches :func:`_sq_distance`."""
+    n, dims = points.shape
+    k = centroids.shape[0]
+    out = np.zeros((n, k))
+    for d in range(dims):
+        diff = points[:, d, None] - centroids[None, :, d]
+        out += diff * diff
+    return out
+
+
+def _seed_centroids_array(points: np.ndarray, k: int,
+                          rng: random.Random) -> np.ndarray:
+    """k-means++ seeding, vectorised; identical RNG consumption and
+    floating-point accumulation order to :func:`_seed_centroids`."""
+    n = points.shape[0]
+    chosen = [points[rng.randrange(n)].copy()]
+    dmin: np.ndarray | None = None
+    while len(chosen) < k:
+        dist = _pairwise_sq(points, chosen[-1][None, :])[:, 0]
+        dmin = dist if dmin is None else np.minimum(dmin, dist)
+        cumulative = np.cumsum(dmin)
+        total = float(cumulative[-1])
+        if total <= 0.0:
+            chosen.append(points[rng.randrange(n)].copy())
+            continue
+        pick = rng.random() * total
+        idx = int(np.searchsorted(cumulative, pick, side="right"))
+        if idx >= n:  # fp tail: mirrors the scalar for-else fallback
+            idx = n - 1
+        chosen.append(points[idx].copy())
+    return np.stack(chosen)
+
+
+def kmeans_array(points, k: int, max_iterations: int = 50,
+                 seed: int | None = 0,
+                 tolerance: float = 1e-9) -> KMeansResult:
+    """Vectorised :func:`kmeans`; bit-identical for a fixed seed.
+
+    ``points`` is array-like ``(n, dims)`` (1-D input is treated as
+    ``(n, 1)``).  Assignment is one broadcast distance matrix + argmin;
+    centroid updates are per-dimension ``bincount`` reductions, which add
+    members in point order exactly like the scalar loop.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    n, dims = pts.shape
+    if n == 0:
+        raise ValueError("kmeans needs at least one point")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, n)
+    rng = random.Random(seed)
+    centroids = _seed_centroids_array(pts, k, rng)
+
+    # Seeding consumed dmin lazily: recompute nothing -- the loop below
+    # rebuilds distances against the final seed set anyway.
+    assignments = np.zeros(n, dtype=np.int64)
+    iterations = 0
+    distances = None
+    for iterations in range(1, max_iterations + 1):
+        distances = _pairwise_sq(pts, centroids)
+        new_assignments = np.argmin(distances, axis=1)
+        moved = bool((new_assignments != assignments).any())
+        assignments = new_assignments
+        counts = np.bincount(assignments, minlength=k)
+        sums = np.empty((k, dims))
+        for d in range(dims):
+            sums[:, d] = np.bincount(assignments, weights=pts[:, d],
+                                     minlength=k)
+        best_ds = distances[np.arange(n), assignments]
+        shift = 0.0
+        new_centroids = np.empty_like(centroids)
+        for j in range(k):
+            if counts[j] == 0:
+                far_i = int(np.argmax(best_ds))
+                new_centroids[j] = pts[far_i]
+            else:
+                new_centroids[j] = sums[j] / counts[j]
+            # accumulate the centroid shift dimension-sequentially to
+            # match the scalar _sq_distance order
+            s = 0.0
+            for d in range(dims):
+                diff = float(new_centroids[j, d]) - float(centroids[j, d])
+                s += diff * diff
+            shift += s
+        centroids = new_centroids
+        if not moved and shift <= tolerance:
+            break
+    final = _pairwise_sq(pts, centroids)
+    chosen = final[np.arange(n), assignments]
+    # cumsum accumulates left-to-right like the scalar builtin sum
+    inertia = float(np.cumsum(chosen)[-1]) if n else 0.0
+    return KMeansResult(centroids=centroids.tolist(),
+                        assignments=assignments.tolist(),
                         inertia=inertia, iterations=iterations)

@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.filters import moving_average
+import numpy as np
+
+from repro.analysis.filters import moving_average_array
 from repro.analysis.stats import OnlineStats
 
 
@@ -24,40 +26,39 @@ def find_peaks(times: Sequence[float], values: Sequence[float],
 
     ``min_prominence`` filters out ripples: a peak must rise at least that
     much above the highest of the two valley minima flanking it.
+    Candidate detection is one vectorised comparison; the prominence
+    check runs per candidate (candidates are few).
     """
     if len(times) != len(values):
         raise ValueError("times and values must have the same length")
-    series = (moving_average(values, smooth_width)
-              if smooth_width > 1 else list(values))
+    series = (moving_average_array(values, smooth_width)
+              if smooth_width > 1 else np.asarray(values, dtype=float))
     n = len(series)
-    candidates = [
-        i for i in range(1, n - 1)
-        if series[i - 1] < series[i] >= series[i + 1]
-    ]
+    if n < 3:
+        return []
+    inner = series[1:-1]
+    candidates = (np.nonzero((series[:-2] < inner)
+                             & (inner >= series[2:]))[0] + 1).tolist()
     if min_prominence <= 0.0:
         return candidates
     peaks = []
     for i in candidates:
-        left_min = min(series[_prev_higher(series, i):i + 1])
-        right_min = min(series[i:_next_higher(series, i) + 1])
+        left_min = series[_prev_higher(series, i):i + 1].min()
+        right_min = series[i:_next_higher(series, i) + 1].min()
         prominence = series[i] - max(left_min, right_min)
         if prominence >= min_prominence:
             peaks.append(i)
     return peaks
 
 
-def _prev_higher(series: Sequence[float], i: int) -> int:
-    for j in range(i - 1, -1, -1):
-        if series[j] > series[i]:
-            return j
-    return 0
+def _prev_higher(series: np.ndarray, i: int) -> int:
+    higher = np.nonzero(series[:i] > series[i])[0]
+    return int(higher[-1]) if len(higher) else 0
 
 
-def _next_higher(series: Sequence[float], i: int) -> int:
-    for j in range(i + 1, len(series)):
-        if series[j] > series[i]:
-            return j
-    return len(series) - 1
+def _next_higher(series: np.ndarray, i: int) -> int:
+    higher = np.nonzero(series[i + 1:] > series[i])[0]
+    return int(higher[0]) + i + 1 if len(higher) else len(series) - 1
 
 
 def local_periods(times: Sequence[float], values: Sequence[float],

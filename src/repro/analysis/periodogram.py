@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 
 def autocorrelation(values: Sequence[float],
                     max_lag: Optional[int] = None) -> list[float]:
@@ -19,6 +21,10 @@ def autocorrelation(values: Sequence[float],
 
     Mean is removed; normalisation is by the lag-0 autocovariance.  For
     a constant series (zero variance) every lag returns 0.0 except lag 0.
+
+    Scalar reference; :func:`autocorrelation_array` is the vectorised
+    engine (agrees to floating-point tolerance, not bit-exactly --
+    ``np.correlate`` sums products in a different order).
     """
     n = len(values)
     if n == 0:
@@ -37,6 +43,28 @@ def autocorrelation(values: Sequence[float],
         covariance = sum(centred[i] * centred[i + lag]
                          for i in range(n - lag))
         out.append(covariance / variance)
+    return out
+
+
+def autocorrelation_array(values,
+                          max_lag: Optional[int] = None) -> np.ndarray:
+    """Vectorised :func:`autocorrelation` via one ``np.correlate`` sweep."""
+    series = np.asarray(values, dtype=float)
+    n = len(series)
+    if n == 0:
+        raise ValueError("empty series")
+    if max_lag is None:
+        max_lag = n // 2
+    max_lag = min(max_lag, n - 1)
+    centred = series - series.mean()
+    variance = float(centred @ centred)
+    out = np.zeros(max_lag + 1)
+    out[0] = 1.0
+    if variance != 0.0 and max_lag > 0:
+        # full correlation of the centred series with itself; the second
+        # half holds sum_i c[i] * c[i + lag] for lag = 0..n-1
+        full = np.correlate(centred, centred, mode="full")
+        out[1:] = full[n:n + max_lag] / variance
     return out
 
 
@@ -61,7 +89,7 @@ def period_by_autocorrelation(times: Sequence[float],
     if len(times) < 8:
         return None
     dt = times[1] - times[0]
-    acf = autocorrelation(values)
+    acf = autocorrelation_array(values)
     start = max(2, int(min_period / dt))
     for lag in range(start, len(acf) - 1):
         if acf[lag - 1] < acf[lag] >= acf[lag + 1] and acf[lag] > 0.1:
@@ -71,6 +99,6 @@ def period_by_autocorrelation(times: Sequence[float],
             offset = 0.0
             if denominator != 0.0:
                 offset = 0.5 * (left - right) / denominator
-            return AcfPeriod(period=(lag + offset) * dt,
-                             acf_value=mid, lag=lag)
+            return AcfPeriod(period=float((lag + offset) * dt),
+                             acf_value=float(mid), lag=lag)
     return None

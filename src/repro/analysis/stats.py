@@ -3,7 +3,10 @@
 ``OnlineStats`` is a Welford accumulator (numerically stable single-pass
 mean/variance); ``cut_statistics`` summarises one trajectory cut across
 all simulations -- the *mean* and *variance* engines of the paper's
-analysis farm.
+analysis farm.  ``block_statistics`` is the batched NumPy variant: one
+array reduction summarises a whole block of cuts at once (the columnar
+analysis path computes it once per cut as cuts arrive, so overlapping
+windows never recompute shared statistics).
 """
 
 from __future__ import annotations
@@ -11,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.sim.trajectory import Cut
 
@@ -124,3 +129,44 @@ def cut_statistics(cut: Cut) -> CutStatistics:
         n_trajectories=len(cut.values),
         mean=tuple(means), variance=tuple(variances),
         minimum=tuple(mins), maximum=tuple(maxs), median=tuple(medians))
+
+
+def block_statistics(grid_indices: np.ndarray, times: np.ndarray,
+                     data: np.ndarray) -> list[CutStatistics]:
+    """Vectorised :func:`cut_statistics` over a block of cuts.
+
+    ``data`` is ``(n_cuts, n_trajectories, n_observables)``; one array
+    reduction per summary replaces the per-sample Welford loop.  Matches
+    the scalar oracle to floating-point summation order (tested to
+    ~1e-12 relative).
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 3:
+        raise ValueError(
+            f"block data must be 3-D, got shape {data.shape}")
+    n_cuts, n_traj, _ = data.shape
+    if n_cuts == 0:
+        return []
+    if n_traj == 0:
+        return [CutStatistics(
+            grid_index=int(grid_indices[i]), time=float(times[i]),
+            n_trajectories=0, mean=(), variance=(), minimum=(),
+            maximum=(), median=()) for i in range(n_cuts)]
+    means = data.mean(axis=1)
+    if n_traj > 1:
+        variances = data.var(axis=1, ddof=1)
+    else:
+        variances = np.zeros_like(means)
+    minima = data.min(axis=1)
+    maxima = data.max(axis=1)
+    medians = np.quantile(data, 0.5, axis=1)
+    return [
+        CutStatistics(
+            grid_index=int(grid_indices[i]), time=float(times[i]),
+            n_trajectories=n_traj,
+            mean=tuple(means[i].tolist()),
+            variance=tuple(variances[i].tolist()),
+            minimum=tuple(minima[i].tolist()),
+            maximum=tuple(maxima[i].tolist()),
+            median=tuple(medians[i].tolist()))
+        for i in range(n_cuts)]

@@ -37,11 +37,9 @@ from repro.ff.node import GO_ON, Node
 from repro.ff.pipeline import Pipeline
 from repro.ff.executor import run as ff_run
 from repro.perfsim.platform import ChannelSpec, GIGABIT_ETHERNET
-from repro.pipeline.builder import WorkflowResult
+from repro.pipeline.builder import (WorkflowResult, analysis_stages,
+                                    make_aligner)
 from repro.pipeline.config import WorkflowConfig
-from repro.analysis.engines import GatherNode, StatEngineNode
-from repro.analysis.windows import SlidingWindowNode
-from repro.sim.alignment import TrajectoryAligner
 from repro.sim.scheduler import TaskGenerator
 from repro.sim.task import SimulationTask
 
@@ -113,7 +111,7 @@ class _RemoteSimLane(Node):
         wire_bytes = len(down_frame)
         wire_messages = 1
         # host -> master: quantum results and updated task state return
-        if result.samples or result.done:
+        if len(result) or result.done:
             up_frame = self.uplink.send(result)
             wire_bytes += len(up_frame)
             wire_messages += 1
@@ -192,22 +190,13 @@ class DistributedWorkflow:
         sim_farm = Farm(
             lanes,
             emitter=_AffinityEmitter(lanes_of_worker),
-            collector=TrajectoryAligner(config.n_simulations),
+            collector=make_aligner(config),
             feedback=True,
             scheduling=config.scheduling,
             name="host-farm")
-        stat_farm = Farm(
-            [StatEngineNode(kmeans_k=config.kmeans_k,
-                            filter_width=config.filter_width,
-                            histogram_bins=config.histogram_bins,
-                            name=f"stat-eng-{i}")
-             for i in range(config.n_stat_workers)],
-            collector=GatherNode(), ordered=True, name="stat-farm")
-        workflow = Pipeline([
-            generator, sim_farm,
-            SlidingWindowNode(config.window_size, config.window_slide),
-            stat_farm,
-        ], name="distributed-workflow")
+        workflow = Pipeline(
+            [generator, sim_farm] + analysis_stages(config),
+            name="distributed-workflow")
         windows = ff_run(workflow, backend=config.backend, trace=tracer)
         report = tracer.report() if tracer is not None else None
         return DistributedRunResult(

@@ -462,7 +462,7 @@ class ClusterMaster:
         else:
             self.ready.append(task)
         for result in msg.results:
-            if result.samples or result.done:
+            if len(result) or result.done:
                 yield result
 
     def _poll_stop(self) -> None:
@@ -622,13 +622,10 @@ def run_workflow_cluster(model, config, controller=None, tracer=None,
     ``threads`` backend for the same seeds -- including when workers die
     mid-run (``fault_hook``, e.g. :class:`KillWorkerAfter`).
     """
-    from repro.analysis.engines import GatherNode, StatEngineNode
-    from repro.analysis.windows import SlidingWindowNode
     from repro.ff.executor import run as ff_run
-    from repro.ff.farm import Farm
     from repro.ff.pipeline import Pipeline
-    from repro.pipeline.builder import WorkflowResult, _CutTee, _ProgressNode
-    from repro.sim.alignment import TrajectoryAligner
+    from repro.pipeline.builder import (WorkflowResult, analysis_stages,
+                                        make_aligner)
     from repro.sim.task import make_tasks
 
     tasks = make_tasks(model, config.n_simulations, config.t_end,
@@ -647,20 +644,9 @@ def run_workflow_cluster(model, config, controller=None, tracer=None,
         stop_requested=stop_requested,
         fault_hook=fault_hook)
     cut_store: Optional[list] = [] if config.keep_cuts else None
-    stages: list = [ClusterSourceNode(master),
-                    TrajectoryAligner(config.n_simulations)]
-    if cut_store is not None:
-        stages.append(_CutTee(cut_store))
-    stages.append(SlidingWindowNode(config.window_size, config.window_slide))
-    stages.append(Farm(
-        [StatEngineNode(kmeans_k=config.kmeans_k,
-                        filter_width=config.filter_width,
-                        histogram_bins=config.histogram_bins,
-                        name=f"stat-eng-{i}")
-         for i in range(config.n_stat_workers)],
-        collector=GatherNode(), ordered=True, name="stat-farm"))
-    if controller is not None:
-        stages.append(_ProgressNode(controller))
+    stages: list = [ClusterSourceNode(master), make_aligner(config)]
+    stages.extend(analysis_stages(config, cut_store=cut_store,
+                                  controller=controller))
     windows = ff_run(Pipeline(stages, name="cluster-workflow"),
                      backend="threads", trace=tracer)
     return WorkflowResult(config=config, windows=windows,

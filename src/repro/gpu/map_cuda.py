@@ -87,7 +87,7 @@ class MapCUDANode(Node):
         for i, task_id in enumerate(block.task_ids):
             self._last_cost[task_id] = float(per_thread[i])
         for result in results:
-            if result.samples or result.done:
+            if len(result) or result.done:
                 self.ff_send_out(result)
         self.blocks_processed += 1
         if self.has_feedback:
@@ -116,7 +116,7 @@ class MapCUDANode(Node):
             bytes_moved=sum(2048.0 for _ in tasks))
         for task, result in zip(tasks, results):
             self._last_cost[task.task_id] = work_of(task, result)
-            if result.samples or result.done:
+            if len(result) or result.done:
                 self.ff_send_out(result)
         remaining = [t for t in tasks if not t.done]
         self.blocks_processed += 1

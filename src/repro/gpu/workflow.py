@@ -20,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.analysis.engines import GatherNode, StatEngineNode
-from repro.analysis.windows import SlidingWindowNode
 from repro.cwc.model import Model
 from repro.cwc.network import ReactionNetwork
 from repro.ff.executor import run as ff_run
@@ -32,9 +30,9 @@ from repro.ff.pipeline import Pipeline
 from repro.gpu.device import tesla_k40
 from repro.gpu.map_cuda import MapCUDANode
 from repro.gpu.simt import SimtDevice
-from repro.pipeline.builder import WorkflowResult, _CutTee
+from repro.pipeline.builder import (WorkflowResult, analysis_stages,
+                                    make_aligner)
 from repro.pipeline.config import WorkflowConfig
-from repro.sim.alignment import TrajectoryAligner
 from repro.sim.task import (
     BatchSimulationTask,
     SimulationTask,
@@ -146,21 +144,12 @@ def run_gpu_workflow(model: Union[Model, ReactionNetwork],
         [MapCUDANode(device, rebalance=rebalance, name=f"mapCUDA{i}")
          for i, device in enumerate(devices)],
         emitter=BlockEmitter(len(devices)),
-        collector=TrajectoryAligner(config.n_simulations),
+        collector=make_aligner(config),
         feedback=True,
         name="gpu-farm")
     cut_store: Optional[list] = [] if config.keep_cuts else None
     stages: list = [generator, gpu_farm]
-    if cut_store is not None:
-        stages.append(_CutTee(cut_store))
-    stages.append(SlidingWindowNode(config.window_size, config.window_slide))
-    stages.append(Farm(
-        [StatEngineNode(kmeans_k=config.kmeans_k,
-                        filter_width=config.filter_width,
-                        histogram_bins=config.histogram_bins,
-                        name=f"stat-eng-{i}")
-         for i in range(config.n_stat_workers)],
-        collector=GatherNode(), ordered=True, name="stat-farm"))
+    stages.extend(analysis_stages(config, cut_store=cut_store))
     windows = ff_run(Pipeline(stages, name="gpu-workflow"),
                      backend=config.backend)
     return GpuWorkflowResult(

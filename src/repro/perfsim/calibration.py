@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.stats import cut_statistics
 from repro.cwc.network import FlatSimulator, ReactionNetwork
 from repro.perfsim.costmodel import CostModel
@@ -89,15 +91,20 @@ def calibrate_cost_model(network: ReactionNetwork,
     # --- alignment cost per sample -----------------------------------------
     n_grid = 16
     sample_row = tuple(float(i) for i in range(n_observables))
+    # pre-built in the columnar wire format the simulation engines ship,
+    # so the probe times the aligner's insert, not result construction
+    probe_times = np.arange(n_grid, dtype=float)
+    probe_values = np.tile(sample_row, (n_grid, 1))
+    probe_results = [
+        QuantumResult(task_id, None, time=0.0, steps=0, done=True,
+                      grid_start=0, times=probe_times, values=probe_values)
+        for task_id in range(n_trajectories)]
 
     def run_aligner():
         aligner = TrajectoryAligner(n_trajectories)
         aligner._outbox = _NullOutbox()
-        for task_id in range(n_trajectories):
-            aligner.svc(QuantumResult(
-                task_id=task_id,
-                samples=[(g, float(g), sample_row) for g in range(n_grid)],
-                time=0.0, steps=0, done=True))
+        for result in probe_results:
+            aligner.svc(result)
 
     per_aligner_run = _time_it(run_aligner)
     align_seconds = per_aligner_run / (n_trajectories * n_grid)

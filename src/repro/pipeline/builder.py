@@ -7,7 +7,7 @@ from typing import Callable, Optional, Union
 
 from repro.analysis.engines import GatherNode, StatEngineNode, WindowStatistics
 from repro.analysis.stats import CutStatistics
-from repro.analysis.windows import SlidingWindowNode
+from repro.analysis.windows import ScalarSlidingWindowNode, SlidingWindowNode
 from repro.cwc.model import Model
 from repro.cwc.network import ReactionNetwork
 from repro.ff.farm import Farm
@@ -17,23 +17,26 @@ from repro.ff.executor import run as ff_run
 from repro.ff.trace import RunReport, Tracer
 from repro.pipeline.config import WorkflowConfig
 from repro.pipeline.steering import SteeringController
-from repro.sim.alignment import TrajectoryAligner
+from repro.sim.alignment import ScalarTrajectoryAligner, TrajectoryAligner
 from repro.sim.engine import SimEngineNode
 from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
-from repro.sim.trajectory import Cut, Trajectory, assemble_trajectories
+from repro.sim.trajectory import (Cut, Trajectory, assemble_trajectories,
+                                  iter_cuts)
 
 
 class _CutTee(Node):
     """Optional stage retaining raw cuts for post-hoc use (examples that
-    need whole trajectories); forwards every cut unchanged."""
+    need whole trajectories); forwards every item unchanged.  CutBlock
+    batches are expanded into per-grid cuts in the store so downstream
+    consumers (``WorkflowResult.trajectories``) see one representation."""
 
     def __init__(self, store: list, name: str = "cut-tee"):
         super().__init__(name=name)
         self.store = store
 
-    def svc(self, cut: Cut) -> Cut:
-        self.store.append(cut)
-        return cut
+    def svc(self, item):
+        self.store.extend(iter_cuts([item]))
+        return item
 
 
 class _ProgressNode(Node):
@@ -86,6 +89,47 @@ class WorkflowResult:
         return assemble_trajectories(self.cuts, self.config.n_simulations)
 
 
+def make_aligner(config: WorkflowConfig):
+    """The trajectory aligner matching ``config.columnar``."""
+    cls = TrajectoryAligner if config.columnar else ScalarTrajectoryAligner
+    return cls(config.n_simulations)
+
+
+def analysis_stages(config: WorkflowConfig,
+                    cut_store: Optional[list] = None,
+                    controller: Optional[SteeringController] = None
+                    ) -> list:
+    """The analysis half of Fig. 2 as a list of pipeline stages: optional
+    cut tee, sliding window, ordered farm of statistical engines,
+    optional steering tap.
+
+    Shared by every backend (in-process executors, the process farm, the
+    TCP cluster and the GPU workflow) so the columnar/scalar switch and
+    any future analysis-plane change lives in exactly one place.
+    """
+    stages: list = []
+    if cut_store is not None:
+        stages.append(_CutTee(cut_store))
+    window_cls = (SlidingWindowNode if config.columnar
+                  else ScalarSlidingWindowNode)
+    stages.append(window_cls(config.window_size, config.window_slide))
+    stat_farm = Farm(
+        [StatEngineNode(kmeans_k=config.kmeans_k,
+                        filter_width=config.filter_width,
+                        histogram_bins=config.histogram_bins,
+                        vectorized=config.columnar,
+                        name=f"stat-eng-{i}")
+         for i in range(config.n_stat_workers)],
+        collector=GatherNode(),
+        ordered=True,
+        scheduling=config.scheduling,
+        name="stat-farm")
+    stages.append(stat_farm)
+    if controller is not None:
+        stages.append(_ProgressNode(controller))
+    return stages
+
+
 def build_workflow(model: Union[Model, ReactionNetwork],
                    config: WorkflowConfig,
                    controller: Optional[SteeringController] = None,
@@ -113,28 +157,13 @@ def build_workflow(model: Union[Model, ReactionNetwork],
     sim_farm = Farm(
         [engine_factory(i) for i in range(config.n_sim_workers)],
         emitter=SimTaskEmitter(stop_requested=stop_requested),
-        collector=TrajectoryAligner(config.n_simulations),
+        collector=make_aligner(config),
         feedback=True,
         scheduling=config.scheduling,
         name="sim-farm")
     stages: list = [generator, sim_farm]
-    if cut_store is not None:
-        stages.append(_CutTee(cut_store))
-    stages.append(SlidingWindowNode(
-        config.window_size, config.window_slide))
-    stat_farm = Farm(
-        [StatEngineNode(kmeans_k=config.kmeans_k,
-                        filter_width=config.filter_width,
-                        histogram_bins=config.histogram_bins,
-                        name=f"stat-eng-{i}")
-         for i in range(config.n_stat_workers)],
-        collector=GatherNode(),
-        ordered=True,
-        scheduling=config.scheduling,
-        name="stat-farm")
-    stages.append(stat_farm)
-    if controller is not None:
-        stages.append(_ProgressNode(controller))
+    stages.extend(analysis_stages(config, cut_store=cut_store,
+                                  controller=controller))
     return Pipeline(stages, name="cwc-workflow")
 
 

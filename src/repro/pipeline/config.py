@@ -37,6 +37,10 @@ class WorkflowConfig:
     #: (thread runtime + process-pool simulation engines) or "cluster"
     #: (real TCP master/worker runtime, repro.distributed.net)
     backend: str = "threads"
+    #: columnar analysis plane: NumPy-backed aligner emitting CutBlock
+    #: batches, ring-buffer sliding window, vectorised stat engines.
+    #: False falls back to the scalar per-cut reference path.
+    columnar: bool = True
     keep_cuts: bool = False       # retain raw cuts (memory!) for examples
     trace: bool = False           # record runtime metrics (run report)
     trace_report_path: Optional[str] = None  # write the JSON report here

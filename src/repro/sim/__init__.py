@@ -13,10 +13,16 @@ from repro.sim.task import (
     make_batch_tasks,
     make_tasks,
 )
-from repro.sim.trajectory import Cut, Trajectory, assemble_trajectories
+from repro.sim.trajectory import (
+    Cut,
+    CutBlock,
+    Trajectory,
+    assemble_trajectories,
+    iter_cuts,
+)
 from repro.sim.engine import SimEngineNode
 from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
-from repro.sim.alignment import TrajectoryAligner
+from repro.sim.alignment import ScalarTrajectoryAligner, TrajectoryAligner
 
 __all__ = [
     "SimulationTask",
@@ -25,10 +31,13 @@ __all__ = [
     "make_tasks",
     "make_batch_tasks",
     "Cut",
+    "CutBlock",
     "Trajectory",
     "assemble_trajectories",
+    "iter_cuts",
     "SimEngineNode",
     "SimTaskEmitter",
     "TaskGenerator",
     "TrajectoryAligner",
+    "ScalarTrajectoryAligner",
 ]

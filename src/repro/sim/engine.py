@@ -40,7 +40,7 @@ class SimEngineNode(Node):
         for result in results:
             if result.done:
                 retired += 1
-            if result.samples or result.done:
+            if len(result) or result.done:
                 self.ff_send_out(result)
         self.trace_incr("sim.steps", steps)
         self.trace_incr("sim.quanta", 1)

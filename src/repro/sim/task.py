@@ -22,7 +22,6 @@ exactly these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -33,21 +32,95 @@ from repro.cwc.model import Model
 from repro.cwc.network import FlatSimulator, ReactionNetwork
 
 
-@dataclass
 class QuantumResult:
-    """Samples produced by one task during one quantum."""
+    """Samples produced by one task during one quantum.
 
-    task_id: int
-    #: (grid index, time, observable values) triples, in time order
-    samples: list[tuple[int, float, tuple[float, ...]]]
-    #: trajectory simulation time after this quantum
-    time: float
-    #: SSA steps executed so far (for cost accounting)
-    steps: int
-    done: bool
+    Two interchangeable representations are supported:
+
+    * **row form** -- ``samples`` is a list of ``(grid index, time,
+      observable tuple)`` triples in time order (the historical layout);
+    * **columnar form** -- ``grid_start`` + ``times`` (1-D array) +
+      ``values`` (``(n_samples, n_observables)`` array), produced
+      natively by the batched NumPy engine so samples can land in the
+      aligner's columnar buffers without an intermediate Python-object
+      hop (also what crosses the cluster wire).
+
+    Whichever form was not supplied is materialised lazily on first
+    access, so downstream code can use either view.
+    """
+
+    def __init__(self, task_id: int,
+                 samples: Optional[list[tuple[int, float,
+                                              tuple[float, ...]]]] = None,
+                 time: float = 0.0, steps: int = 0, done: bool = False,
+                 *, grid_start: Optional[int] = None,
+                 times: Optional[np.ndarray] = None,
+                 values: Optional[np.ndarray] = None):
+        self.task_id = task_id
+        #: trajectory simulation time after this quantum
+        self.time = time
+        #: SSA steps executed so far (for cost accounting)
+        self.steps = steps
+        self.done = done
+        if samples is not None:
+            self._samples: Optional[list] = samples
+            self._grid_indices: Optional[np.ndarray] = None
+            self._times = None
+            self._values = None
+            self._n = len(samples)
+            #: first grid index (columnar form only; the grid indices of
+            #: a columnar result are ``grid_start .. grid_start + n - 1``
+            #: *by construction*, which the aligner exploits)
+            self.grid_start: Optional[int] = None
+        else:
+            if times is None or values is None:
+                raise ValueError(
+                    "QuantumResult needs samples or times+values")
+            self._samples = None
+            self._times = np.asarray(times, dtype=float)
+            self._values = np.asarray(values, dtype=float)
+            self._n = len(self._times)
+            self._grid_indices = None  # built lazily from grid_start
+            self.grid_start = 0 if grid_start is None else int(grid_start)
+
+    @property
+    def samples(self) -> list[tuple[int, float, tuple[float, ...]]]:
+        """(grid index, time, observable values) triples, in time order."""
+        if self._samples is None:
+            grids = range(self.grid_start, self.grid_start + self._n)
+            times = self._times.tolist()
+            rows = self._values.tolist()
+            self._samples = [
+                (g, t, tuple(row))
+                for g, t, row in zip(grids, times, rows)]
+        return self._samples
+
+    def columnar(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(grid_indices, times, values)`` arrays; values is
+        ``(n_samples, n_observables)``.  Cached."""
+        if self._values is None:
+            samples = self._samples
+            self._grid_indices = np.array(
+                [s[0] for s in samples], dtype=np.int64)
+            self._times = np.array([s[1] for s in samples], dtype=float)
+            if samples:
+                self._values = np.asarray(
+                    [s[2] for s in samples], dtype=float)
+                if self._values.ndim == 1:
+                    self._values = self._values.reshape(len(samples), -1)
+            else:
+                self._values = np.empty((0, 0), dtype=float)
+        elif self._grid_indices is None:
+            self._grid_indices = np.arange(
+                self.grid_start, self.grid_start + self._n)
+        return self._grid_indices, self._times, self._values
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._n
+
+    def __repr__(self) -> str:
+        return (f"<QuantumResult task={self.task_id} n={self._n} "
+                f"t={self.time:.3g} done={self.done}>")
 
 
 class SimulationTask:
@@ -92,22 +165,33 @@ class SimulationTask:
             return QuantumResult(self.task_id, [], self.time,
                                  self.steps, True)
         target = min(self.time + self.quantum, self.t_end)
-        samples: list[tuple[int, float, tuple[float, ...]]] = []
+        grid_start = self._next_grid
+        grid_times: list[float] = []
+        rows: list[tuple[float, ...]] = []
         while True:
             grid_time = self._next_grid * self.sample_every
             if grid_time > target + 1e-12:
                 break
             if grid_time > self.time:
                 self.simulator.advance(grid_time - self.time)
-            samples.append((self._next_grid, grid_time,
-                            self.simulator.observe()))
+            grid_times.append(grid_time)
+            rows.append(self.simulator.observe())
             self._next_grid += 1
             if grid_time >= self.t_end - 1e-12:
                 break
         if self.time < target:
             self.simulator.advance(target - self.time)
-        return QuantumResult(self.task_id, samples, self.time,
-                             self.steps, self.done)
+        if not rows:
+            return QuantumResult(self.task_id, [], self.time,
+                                 self.steps, self.done)
+        # ship columnar: the samples cross process/network boundaries as
+        # two arrays and land in the aligner's buffers without a
+        # per-sample Python-object hop (row form stays a lazy view)
+        return QuantumResult(self.task_id, None, self.time,
+                             self.steps, self.done,
+                             grid_start=grid_start,
+                             times=np.array(grid_times),
+                             values=np.asarray(rows, dtype=float))
 
     def __repr__(self) -> str:
         return (f"<SimulationTask {self.task_id} t={self.time:.3g}/"
@@ -173,27 +257,36 @@ class BatchSimulationTask:
                                   int(self.batch.steps[i]), True)
                     for i, task_id in enumerate(self.task_ids)]
         target = min(self.time + self.quantum, self.t_end)
-        samples: list[list[tuple[int, float, tuple[float, ...]]]] = [
-            [] for _ in range(self.n)]
+        grid_start = self._next_grid
+        rows: list[np.ndarray] = []      # one (n, n_obs) matrix per grid pt
+        grid_times: list[float] = []
         while True:
             grid_time = self._next_grid * self.sample_every
             if grid_time > target + 1e-12:
                 break
             if grid_time > self.time:
                 self.batch.advance_to(np.full(self.n, grid_time))
-            values = self.batch.observe_all().tolist()  # plain floats
-            for i in range(self.n):
-                samples[i].append((self._next_grid, grid_time,
-                                   tuple(values[i])))
+            rows.append(self.batch.observe_all())
+            grid_times.append(grid_time)
             self._next_grid += 1
             if grid_time >= self.t_end - 1e-12:
                 break
         if self.time < target:
             self.batch.advance_to(np.full(self.n, target))
         done = self.done
-        return [QuantumResult(task_id, samples[i],
+        if not rows:
+            return [QuantumResult(task_id, [], float(self.batch.times[i]),
+                                  int(self.batch.steps[i]), done)
+                    for i, task_id in enumerate(self.task_ids)]
+        # (n_grid, n, n_obs): the quantum's samples, columnar end-to-end
+        block = np.stack(rows)
+        times_arr = np.array(grid_times)
+        return [QuantumResult(task_id, None,
                               float(self.batch.times[i]),
-                              int(self.batch.steps[i]), done)
+                              int(self.batch.steps[i]), done,
+                              grid_start=grid_start,
+                              times=times_arr,
+                              values=np.ascontiguousarray(block[:, i, :]))
                 for i, task_id in enumerate(self.task_ids)]
 
     def __repr__(self) -> str:

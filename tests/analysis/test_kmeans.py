@@ -76,3 +76,65 @@ class TestKMeans:
             distances = [sum((x - c) ** 2 for x, c in zip(point, centroid))
                          for centroid in result.centroids]
             assert distances[assigned] == min(distances)
+
+
+class TestVectorizedKMeans:
+    """kmeans_array must be bit-identical to the scalar reference."""
+
+    def _assert_identical(self, points, k, seed):
+        from repro.analysis.kmeans import kmeans_array
+        scalar = kmeans(points, k, seed=seed)
+        vector = kmeans_array(points, k, seed=seed)
+        assert vector.assignments == scalar.assignments
+        assert vector.centroids == scalar.centroids  # exact, not approx
+        assert vector.inertia == scalar.inertia
+        assert vector.iterations == scalar.iterations
+
+    def test_identical_on_random_blobs_1d(self):
+        rng = random.Random(3)
+        points = blob([0.0], 30, 2.0, rng) + blob([50.0], 25, 3.0, rng)
+        for seed in range(5):
+            self._assert_identical(points, 2, seed)
+
+    def test_identical_on_random_blobs_2d(self):
+        rng = random.Random(4)
+        points = (blob([0, 0], 20, 1.5, rng) + blob([10, 0], 20, 1.5, rng)
+                  + blob([5, 9], 20, 1.5, rng))
+        for seed in range(5):
+            for k in (1, 2, 3, 5):
+                self._assert_identical(points, k, seed)
+
+    def test_identical_on_uniform_noise(self):
+        rng = random.Random(5)
+        points = [[rng.uniform(0, 100), rng.uniform(0, 100)]
+                  for _ in range(64)]
+        for seed in range(4):
+            self._assert_identical(points, 4, seed)
+
+    def test_identical_with_identical_points(self):
+        # degenerate seeding path (total distance 0 -> rng.randrange)
+        points = [[7.0, 7.0]] * 10
+        self._assert_identical(points, 3, 0)
+
+    def test_identical_with_duplicate_heavy_data(self):
+        rng = random.Random(6)
+        base = [[float(rng.randint(0, 3))] for _ in range(40)]
+        for seed in range(4):
+            self._assert_identical(base, 3, seed)
+
+    def test_1d_flat_input_equals_tupled_input(self):
+        from repro.analysis.kmeans import kmeans_array
+        values = [1.0, 2.0, 50.0, 51.0, 52.0, 0.5]
+        flat = kmeans_array(values, 2, seed=0)
+        tupled = kmeans_array([(v,) for v in values], 2, seed=0)
+        assert flat.centroids == tupled.centroids
+        assert flat.assignments == tupled.assignments
+
+    def test_k_clamped_and_validation(self):
+        from repro.analysis.kmeans import kmeans_array
+        result = kmeans_array([[1.0], [2.0]], 5, seed=0)
+        assert result.k == 2
+        with pytest.raises(ValueError):
+            kmeans_array([], 2)
+        with pytest.raises(ValueError):
+            kmeans_array([[1.0]], 0)

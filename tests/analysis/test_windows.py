@@ -1,10 +1,18 @@
-"""Sliding-window generation."""
+"""Sliding-window generation.
+
+Parametrised over the columnar ring-buffer :class:`SlidingWindowNode`
+and the scalar oracle :class:`ScalarSlidingWindowNode`: both must emit
+the same window sequence for any stream.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.windows import SlidingWindowNode, Window
-from repro.sim.trajectory import Cut
+from repro.analysis.windows import (ScalarSlidingWindowNode,
+                                    SlidingWindowNode, Window)
+from repro.sim.trajectory import Cut, CutBlock
+
+NODES = (SlidingWindowNode, ScalarSlidingWindowNode)
 
 
 class _Capture:
@@ -29,55 +37,123 @@ def feed(node, n):
     return out.items
 
 
+@pytest.mark.parametrize("node_cls", NODES)
 class TestTumblingWindows:
-    def test_exact_multiple(self):
-        windows = feed(SlidingWindowNode(size=5), 10)
+    def test_exact_multiple(self, node_cls):
+        windows = feed(node_cls(size=5), 10)
         assert [len(w) for w in windows] == [5, 5]
         assert [w.index for w in windows] == [0, 1]
 
-    def test_partial_tail_emitted(self):
-        windows = feed(SlidingWindowNode(size=5), 12)
+    def test_partial_tail_emitted(self, node_cls):
+        windows = feed(node_cls(size=5), 12)
         assert [len(w) for w in windows] == [5, 5, 2]
 
-    def test_partial_tail_suppressed(self):
-        windows = feed(SlidingWindowNode(size=5, emit_partial_tail=False), 12)
+    def test_partial_tail_suppressed(self, node_cls):
+        windows = feed(node_cls(size=5, emit_partial_tail=False), 12)
         assert [len(w) for w in windows] == [5, 5]
 
-    def test_windows_cover_stream_in_order(self):
-        windows = feed(SlidingWindowNode(size=4), 10)
+    def test_windows_cover_stream_in_order(self, node_cls):
+        windows = feed(node_cls(size=4), 10)
         seen = [c.grid_index for w in windows for c in w.cuts]
         assert seen == list(range(10))
 
-    def test_fewer_cuts_than_window(self):
-        windows = feed(SlidingWindowNode(size=100), 3)
+    def test_fewer_cuts_than_window(self, node_cls):
+        windows = feed(node_cls(size=100), 3)
         assert len(windows) == 1 and len(windows[0]) == 3
 
-    def test_empty_stream(self):
-        assert feed(SlidingWindowNode(size=5), 0) == []
+    def test_empty_stream(self, node_cls):
+        assert feed(node_cls(size=5), 0) == []
 
 
+@pytest.mark.parametrize("node_cls", NODES)
 class TestOverlappingWindows:
-    def test_slide_smaller_than_size(self):
-        windows = feed(SlidingWindowNode(size=4, slide=2), 8)
+    def test_slide_smaller_than_size(self, node_cls):
+        windows = feed(node_cls(size=4, slide=2), 8)
         starts = [w.cuts[0].grid_index for w in windows]
         assert starts[:3] == [0, 2, 4]
         assert all(len(w) == 4 for w in windows[:3])
 
-    def test_overlap_shares_cuts(self):
-        windows = feed(SlidingWindowNode(size=4, slide=2), 6)
+    def test_overlap_shares_cuts(self, node_cls):
+        windows = feed(node_cls(size=4, slide=2), 6)
         assert [c.grid_index for c in windows[0].cuts] == [0, 1, 2, 3]
         assert [c.grid_index for c in windows[1].cuts] == [2, 3, 4, 5]
 
     @given(st.integers(1, 10), st.integers(1, 10), st.integers(0, 40))
     @settings(max_examples=60)
-    def test_every_cut_appears(self, size, slide_offset, n):
+    def test_every_cut_appears(self, node_cls, size, slide_offset, n):
         slide = min(size, 1 + slide_offset % size)
-        node = SlidingWindowNode(size=size, slide=slide)
+        node = node_cls(size=size, slide=slide)
         windows = feed(node, n)
         covered = {c.grid_index for w in windows for c in w.cuts}
         assert covered == set(range(n))
         # window indices are consecutive
         assert [w.index for w in windows] == list(range(len(windows)))
+
+    def test_large_slide_long_stream(self, node_cls):
+        """Regression for the per-slide pop loop: a large slide over a
+        long stream must still produce exactly the right windows (and in
+        the columnar node the ring must compact correctly many times)."""
+        size, slide, n = 500, 499, 5000
+        windows = feed(node_cls(size=size, slide=slide), n)
+        expected_full = (n - size) // slide + 1
+        assert [len(w) for w in windows[:expected_full]] == (
+            [size] * expected_full)
+        starts = [w.cuts[0].grid_index for w in windows[:expected_full]]
+        assert starts == [i * slide for i in range(expected_full)]
+        covered = {c.grid_index for w in windows for c in w.cuts}
+        assert covered == set(range(n))
+
+
+class TestColumnarScalarEquivalence:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 60),
+           st.integers(1, 7))
+    @settings(max_examples=40)
+    def test_same_windows_any_blocking(self, size, slide_offset, n,
+                                       block_len):
+        """Feeding the same stream -- as single cuts to the oracle and as
+        arbitrary CutBlock batches to the ring -- yields identical
+        windows."""
+        slide = min(size, 1 + slide_offset % size)
+        stream = cuts(n)
+        scalar = ScalarSlidingWindowNode(size=size, slide=slide)
+        columnar = SlidingWindowNode(size=size, slide=slide)
+        out_s = _Capture(scalar)
+        out_c = _Capture(columnar)
+        for cut in stream:
+            scalar.svc(cut)
+        scalar.svc_end()
+        import numpy as np
+        start = 0
+        while start < n:
+            chunk = stream[start:start + block_len]
+            columnar.svc(CutBlock(
+                start, np.array([c.time for c in chunk]),
+                np.stack([c.data for c in chunk])))
+            start += len(chunk)
+        columnar.svc_end()
+        assert len(out_s.items) == len(out_c.items)
+        for ws, wc in zip(out_s.items, out_c.items):
+            assert ws.index == wc.index
+            assert [c.grid_index for c in ws.cuts] == \
+                [c.grid_index for c in wc.cuts]
+            assert [c.values for c in ws.cuts] == \
+                [c.values for c in wc.cuts]
+
+    def test_ring_precomputes_stats(self):
+        node = SlidingWindowNode(size=4, slide=2)
+        windows = feed(node, 8)
+        for window in windows:
+            assert window.cut_stats is not None
+            assert len(window.cut_stats) == len(window)
+            for stat, cut in zip(window.cut_stats, window.cuts):
+                assert stat.grid_index == cut.grid_index
+                assert stat.mean == (float(cut.grid_index),)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            SlidingWindowNode(size=2).svc("nope")
+        with pytest.raises(TypeError):
+            ScalarSlidingWindowNode(size=2).svc("nope")
 
 
 class TestWindowObject:
@@ -94,13 +170,14 @@ class TestWindowObject:
         assert matrix == [[100.0, 101.0, 102.0], [200.0, 201.0, 202.0]]
 
 
+@pytest.mark.parametrize("node_cls", NODES)
 class TestValidation:
-    def test_size_positive(self):
+    def test_size_positive(self, node_cls):
         with pytest.raises(ValueError):
-            SlidingWindowNode(size=0)
+            node_cls(size=0)
 
-    def test_slide_bounds(self):
+    def test_slide_bounds(self, node_cls):
         with pytest.raises(ValueError):
-            SlidingWindowNode(size=3, slide=4)
+            node_cls(size=3, slide=4)
         with pytest.raises(ValueError):
-            SlidingWindowNode(size=3, slide=0)
+            node_cls(size=3, slide=0)

@@ -13,29 +13,36 @@ from repro.analysis.engines import GatherNode, StatEngineNode
 from repro.analysis.windows import SlidingWindowNode
 from repro.ff import Farm, GO_ON, MasterWorkerEmitter, Node, Pipeline, run
 from repro.ff.node import SinkNode
+from repro.sim.trajectory import Cut
 
 BACKENDS = ("sequential", "threads")
+
+
+def _cuts(n):
+    return [Cut(grid_index=g, time=float(g), values=[(float(g),)])
+            for g in range(n)]
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestSlidingWindowReuse:
     def test_two_runs_identical_windows(self, backend):
         node = SlidingWindowNode(size=4, slide=2)
-        structure = Pipeline([range(10), node])
+        structure = Pipeline([_cuts(10), node])
         first = run(structure, backend=backend)
         second = run(structure, backend=backend)
         assert [w.index for w in first] == [w.index for w in second]
-        assert [w.cuts for w in first] == [w.cuts for w in second]
+        assert ([[c.values for c in w.cuts] for w in first]
+                == [[c.values for c in w.cuts] for w in second])
         assert first[0].index == 0  # indices restart, don't continue
 
     def test_no_leaked_tail_from_previous_run(self, backend):
         # 3 items with size=2/slide=2 leaves one cut buffered at EOS;
         # the partial tail must not leak into the next run's windows
         node = SlidingWindowNode(size=2, slide=2, emit_partial_tail=False)
-        structure = Pipeline([[1, 2, 3], node])
+        structure = Pipeline([_cuts(3), node])
         run(structure, backend=backend)
         second = run(structure, backend=backend)
-        assert [w.cuts for w in second] == [[1, 2]]
+        assert [[c.grid_index for c in w.cuts] for w in second] == [[0, 1]]
 
 
 class _Task:

@@ -9,7 +9,7 @@ from repro.gpu.map_cuda import MapCUDANode
 from repro.gpu.simt import SimtDevice
 from repro.sim.task import make_tasks
 from repro.sim.alignment import TrajectoryAligner
-from repro.sim.trajectory import assemble_trajectories
+from repro.sim.trajectory import assemble_trajectories, iter_cuts
 
 
 class _BlockEmitter(MasterWorkerEmitter):
@@ -25,7 +25,8 @@ def gpu_block_workflow(network, n, t_end, quantum, sample_every, seed):
     tasks = make_tasks(network, n, t_end, quantum, sample_every, seed=seed)
     farm = Farm([MapCUDANode(device)], emitter=_BlockEmitter(),
                 collector=TrajectoryAligner(n), feedback=True)
-    cuts = run(Pipeline([[tasks], farm]), backend="sequential")
+    cuts = list(iter_cuts(run(Pipeline([[tasks], farm]),
+                              backend="sequential")))
     return cuts, device
 
 
@@ -87,7 +88,8 @@ class TestMapCUDABatchBlocks:
                                  seed=seed, batch_size=n)
         farm = Farm([MapCUDANode(device)], emitter=BlockEmitter(n_devices=1),
                     collector=TrajectoryAligner(n), feedback=True)
-        cuts = run(Pipeline([tasks, farm]), backend="sequential")
+        cuts = list(iter_cuts(run(Pipeline([tasks, farm]),
+                                  backend="sequential")))
         return cuts, device
 
     def test_all_cuts_produced(self, neurospora_small):

@@ -6,7 +6,7 @@ from repro.ff import Farm, Pipeline, run
 from repro.sim.alignment import TrajectoryAligner
 from repro.sim.engine import SimEngineNode
 from repro.sim.scheduler import SimTaskEmitter, TaskGenerator
-from repro.sim.trajectory import Cut, assemble_trajectories
+from repro.sim.trajectory import Cut, assemble_trajectories, iter_cuts
 from repro.cwc.network import FlatSimulator
 
 BACKENDS = ("sequential", "threads")
@@ -26,7 +26,8 @@ class TestSimulationFarm:
         n, t_end, dt = 5, 6.0, 0.5
         gen = TaskGenerator(neurospora_small, n, t_end, quantum=1.5,
                             sample_every=dt, seed=0)
-        cuts = run(Pipeline([gen, sim_farm(n)]), backend=backend)
+        cuts = list(iter_cuts(run(Pipeline([gen, sim_farm(n)]),
+                                  backend=backend)))
         assert [c.grid_index for c in cuts] == list(range(13))
         assert all(isinstance(c, Cut) for c in cuts)
         assert all(c.n_trajectories == n for c in cuts)
