@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Batch-SSA engine throughput: numpy inner loops vs JIT kernels.
+
+Runs the batch engine (:class:`repro.cwc.batch.BatchFlatSimulator`) over
+the Neurospora network at batch size 1024 with each requested
+``engine_kernel`` and reports steps per second.  Before timing anything
+it verifies the kernels are *bit-identical*: every kernel must produce
+exactly the same states and times as the numpy oracle, else its speed is
+meaningless (see ``tests/cwc/test_kernels.py`` for the fine-grained
+equivalence suite).
+
+The numba leg JIT-compiles on first touch; a warm-up run keeps
+compilation out of the timings (``cache=True`` also persists the
+compiled loops between processes).  Without numba installed the script
+degrades to the numpy baseline and reports the missing kernels --
+useful locally; CI installs numba and asserts the speedup floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        [--batch 1024] [--t-end 0.5] [--omega 100] [--repeat 3] \
+        [--json BENCH_kernels.json] [--assert-speedup 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.cwc.batch import BatchFlatSimulator
+from repro.cwc.kernels import KERNEL_NAMES, kernel_available
+from repro.models import neurospora_network
+
+
+def run_once(network, kernel: str, batch: int, t_end: float,
+             seed: int) -> tuple[int, float, np.ndarray]:
+    sim = BatchFlatSimulator(network, batch, seed=seed, kernel=kernel)
+    started = time.perf_counter()
+    sim.advance(t_end)
+    elapsed = time.perf_counter() - started
+    return sim.total_steps, elapsed, sim.counts.copy()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=1024)
+    parser.add_argument("--t-end", type=float, default=0.5)
+    parser.add_argument("--omega", type=int, default=100)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", default="BENCH_kernels.json")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        help="fail unless every available JIT kernel "
+                             "beats numpy by at least this factor")
+    args = parser.parse_args(argv)
+
+    network = neurospora_network(omega=args.omega)
+    kernels = [k for k in KERNEL_NAMES if kernel_available(k)]
+    missing = [k for k in KERNEL_NAMES if k not in kernels]
+
+    # correctness gate: same seed => bit-identical states for every
+    # kernel (the cupy kernel is excluded -- its device scan is not
+    # bit-pinned; it gets a statistical sanity check instead)
+    oracle_steps, _, oracle_counts = run_once(
+        network, "numpy", args.batch, args.t_end, args.seed)
+    for kernel in kernels:
+        if kernel == "cupy":
+            _, _, counts = run_once(network, kernel, args.batch,
+                                    args.t_end, args.seed)
+            assert (counts >= 0).all(), "cupy kernel produced bad states"
+            continue
+        steps, _, counts = run_once(network, kernel, args.batch,
+                                    args.t_end, args.seed)
+        if steps != oracle_steps or counts.tobytes() != \
+                oracle_counts.tobytes():
+            print(f"FAIL: kernel {kernel!r} diverged from the numpy "
+                  f"oracle (steps {steps} vs {oracle_steps})",
+                  file=sys.stderr)
+            return 1
+
+    report = {"batch": args.batch, "t_end": args.t_end,
+              "omega": args.omega, "missing_kernels": missing,
+              "kernels": {}}
+    for kernel in kernels:
+        best_rate, steps = 0.0, 0
+        for _ in range(args.repeat + 1):  # first lap = JIT/alloc warm-up
+            steps, elapsed, _ = run_once(network, kernel, args.batch,
+                                         args.t_end, args.seed)
+            best_rate = max(best_rate, steps / elapsed)
+        report["kernels"][kernel] = {"steps": steps,
+                                     "steps_per_s": best_rate}
+        print(f"{kernel:>6}: {best_rate:,.0f} steps/s "
+              f"({steps:,} steps, batch {args.batch})")
+
+    base = report["kernels"]["numpy"]["steps_per_s"]
+    for kernel in kernels:
+        speedup = report["kernels"][kernel]["steps_per_s"] / base
+        report["kernels"][kernel]["speedup_vs_numpy"] = speedup
+        if kernel != "numpy":
+            print(f"{kernel:>6}: {speedup:.2f}x vs numpy")
+    if missing:
+        print(f"not installed here (skipped): {', '.join(missing)}")
+
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.json}")
+
+    if args.assert_speedup is not None:
+        jit = [k for k in kernels if k != "numpy"]
+        if not jit:
+            print("FAIL: --assert-speedup given but no JIT kernel is "
+                  "installed", file=sys.stderr)
+            return 1
+        failed = False
+        for kernel in jit:
+            speedup = report["kernels"][kernel]["speedup_vs_numpy"]
+            if speedup < args.assert_speedup:
+                print(f"FAIL: {kernel} speedup {speedup:.2f}x < "
+                      f"{args.assert_speedup:.1f}x", file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

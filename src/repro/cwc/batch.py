@@ -267,7 +267,8 @@ class BatchFlatSimulator:
     """
 
     def __init__(self, network: Union[ReactionNetwork, CompiledNetwork],
-                 n_trajectories: int, seed: Optional[int] = None):
+                 n_trajectories: int, seed: Optional[int] = None,
+                 kernel: str = "numpy"):
         if n_trajectories < 1:
             raise ValueError(
                 f"need >= 1 trajectory, got {n_trajectories}")
@@ -284,6 +285,31 @@ class BatchFlatSimulator:
         #: longer change, so exhaustion is permanent)
         self.exhausted = np.zeros(n_trajectories, dtype=bool)
         self.rng = np.random.default_rng(seed)
+        #: inner-loop kernel name ("numpy" keeps the inline vectorised
+        #: expressions; "numba"/"cupy" route the three hot computations
+        #: through repro.cwc.kernels).  Every RNG draw stays right here
+        #: in advance_to regardless, so the numba kernel reproduces the
+        #: numpy trajectories bit for bit.
+        self.kernel_name = kernel
+        self._kernel = None
+        if kernel != "numpy":
+            self._kernel = self._build_kernel()  # fail fast, not mid-run
+
+    def _build_kernel(self):
+        from repro.cwc.kernels import make_kernel
+        return make_kernel(self.kernel_name, self.compiled)
+
+    def __getstate__(self) -> dict:
+        # kernel objects hold jitted dispatchers / device handles; ship
+        # the name and rebuild on the receiving side
+        state = self.__dict__.copy()
+        state["_kernel"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.kernel_name != "numpy":
+            self._kernel = self._build_kernel()
 
     @property
     def model(self) -> ReactionNetwork:
@@ -352,10 +378,15 @@ class BatchFlatSimulator:
             trg, new_steps = trg[keep], new_steps[keep]
             return keep
 
+        kernel = self._kernel
         while active.size:
             # (n_reactions, m) cumulative propensities: the running sums
             # drive reaction selection and their last row is the totals
-            cumulative = np.cumsum(self.compiled.propensities_T(X), axis=0)
+            if kernel is None:
+                cumulative = np.cumsum(self.compiled.propensities_T(X),
+                                       axis=0)
+            else:
+                cumulative = kernel.propensities_cumsum_T(X)
             totals = cumulative[-1]
 
             dead = totals <= 0.0
@@ -380,10 +411,14 @@ class BatchFlatSimulator:
                 new_times = new_times[keep]
 
             picks = self.rng.random(active.size) * totals
-            chosen = (cumulative < picks[None, :]).sum(axis=0)
-            # numerical slack: never index past the last reaction
-            np.clip(chosen, 0, n_reactions - 1, out=chosen)
-            X += stoich[chosen]
+            if kernel is None:
+                chosen = (cumulative < picks[None, :]).sum(axis=0)
+                # numerical slack: never index past the last reaction
+                np.clip(chosen, 0, n_reactions - 1, out=chosen)
+                X += stoich[chosen]
+            else:
+                chosen = kernel.select_events(cumulative, picks)
+                kernel.apply_stoich(X, stoich, chosen)
             tw = new_times
             new_steps += 1
         return self.times
@@ -440,11 +475,13 @@ class BatchFlatSimulator:
 
 def batch_simulator(model: Union[Model, ReactionNetwork],
                     n_trajectories: int,
-                    seed: Optional[int] = None) -> BatchFlatSimulator:
+                    seed: Optional[int] = None,
+                    kernel: str = "numpy") -> BatchFlatSimulator:
     """Build a batch simulator from a network or a compartment-free model
     (mirrors the ``engine="flat"`` coercion of ``make_tasks``)."""
     if isinstance(model, ReactionNetwork):
         network = model
     else:
         network = ReactionNetwork.from_model(model)
-    return BatchFlatSimulator(network, n_trajectories, seed=seed)
+    return BatchFlatSimulator(network, n_trajectories, seed=seed,
+                              kernel=kernel)

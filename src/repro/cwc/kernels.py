@@ -1,0 +1,381 @@
+"""Pluggable inner-loop kernels for the batch SSA engine.
+
+The lockstep loop of :class:`~repro.cwc.batch.BatchFlatSimulator` spends
+essentially all of its time in three deterministic array computations:
+
+1. **propensities + cumulative sum** -- assemble the ``(n_reactions,
+   n_trajectories)`` propensity matrix and accumulate it down the
+   reaction axis (the running sums drive reaction selection and their
+   last row is the totals);
+2. **event selection** -- count, per trajectory, how many running sums
+   fall below the uniform pick (cumulative-sum inversion);
+3. **stoichiometry application** -- scatter each chosen reaction's state
+   change into the counts matrix.
+
+This module packages those three as *kernels* with a tiny common
+surface, selected by name (``engine_kernel`` in the workflow config):
+
+* ``"numpy"`` -- the reference implementation, byte-for-byte the
+  vectorised expressions the simulator always used.  Always available;
+  the correctness oracle for everything else.
+* ``"numba"`` -- ``@njit``-compiled fused loops.  **Bit-identical** to
+  numpy for the same seeds: every random draw stays in Python (same
+  generator, same call order, same sizes) and the compiled code performs
+  the *same IEEE-754 operations in the same order* as the numpy
+  expressions (``fastmath`` stays off, the cumulative sum is sequential,
+  combinatorial factors multiply in reactant order).  What changes is
+  only dispatch overhead: one fused pass instead of a dozen temporaries.
+* ``"cupy"`` -- a dispatch shim running the same three steps on a real
+  GPU through CuPy.  Statistically equivalent but *not* bit-pinned:
+  ``cumsum`` on the device is a parallel scan whose float rounding may
+  differ from the sequential sum.
+
+Backends degrade gracefully: requesting a kernel whose package is not
+installed raises :class:`KernelUnavailable` with the install hint, and
+:func:`available_kernels` lets callers (CLI, tests) probe without
+triggering imports at module load.
+
+Mass-action reactions are compiled into a :class:`MassActionPlan` --
+flat CSR-style arrays a jitted loop can walk without touching Python
+objects.  Functional rate laws (Hill, Michaelis-Menten, arbitrary
+callables) keep their vectorised numpy closures: they are evaluated
+outside the kernel and passed in as a dense ``(n_functional,
+n_trajectories)`` block, so a model mixing both kinds still runs the
+mass-action majority through the fused loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+#: kernels selectable via ``engine_kernel`` (mirrored by
+#: ``WorkflowConfig.ENGINE_KERNELS``)
+KERNEL_NAMES = ("numpy", "numba", "cupy")
+
+
+class KernelUnavailable(RuntimeError):
+    """The requested kernel backend cannot run here (package missing or
+    no device)."""
+
+
+class MassActionPlan:
+    """CSR-style encoding of a compiled network's reactions for jitted
+    loops.
+
+    ``cols[indptr[j]:indptr[j+1]]`` / ``needs[...]`` are reaction ``j``'s
+    reactant columns and multiplicities; ``facts`` carries the matching
+    ``need!`` divisors so the kernel reproduces the oracle's
+    falling-factorial expression exactly.  ``rates[j]`` is the
+    mass-action rate constant (0 for functional reactions, whose rows
+    are delivered separately); ``func_index[j]`` is the row of reaction
+    ``j`` in the functional-values block, or -1.
+    """
+
+    __slots__ = ("rates", "indptr", "cols", "needs", "facts",
+                 "func_index", "n_reactions")
+
+    def __init__(self, compiled) -> None:
+        reactants = compiled._reactants
+        n_reactions = compiled.n_reactions
+        self.n_reactions = n_reactions
+        self.rates = np.asarray(compiled._rates, dtype=np.float64)
+        self.indptr = np.zeros(n_reactions + 1, dtype=np.int64)
+        cols: list[int] = []
+        needs: list[int] = []
+        facts: list[float] = []
+        for j in range(n_reactions):
+            for col, need in reactants[j]:
+                cols.append(col)
+                needs.append(need)
+                facts.append(float(math.factorial(need)))
+            self.indptr[j + 1] = len(cols)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.needs = np.asarray(needs, dtype=np.int64)
+        self.facts = np.asarray(facts, dtype=np.float64)
+        self.func_index = np.full(n_reactions, -1, dtype=np.int64)
+        for k, (j, _law) in enumerate(compiled._functional):
+            self.func_index[j] = k
+
+
+# ---------------------------------------------------------------------------
+# the three inner loops, in plain Python: the numba backend jit-compiles
+# exactly these, so there is one algorithmic source of truth
+# ---------------------------------------------------------------------------
+
+def _propensities_cumsum_T(rates, indptr, cols, needs, facts, func_index,
+                           func_values, X, out) -> None:
+    """Fill ``out`` with the propensity matrix and accumulate it down
+    the reaction axis, in the oracle's operation order."""
+    n_reactions = out.shape[0]
+    m = out.shape[1]
+    for j in range(n_reactions):
+        k = func_index[j]
+        if k >= 0:
+            # functional law, evaluated outside: gate on availability
+            for i in range(m):
+                value = func_values[k, i]
+                for p in range(indptr[j], indptr[j + 1]):
+                    if X[i, cols[p]] < needs[p]:
+                        value = 0.0
+                        break
+                out[j, i] = value
+        else:
+            rate = rates[j]
+            for i in range(m):
+                h = 1.0
+                for p in range(indptr[j], indptr[j + 1]):
+                    n = X[i, cols[p]]
+                    need = needs[p]
+                    if need == 1:
+                        h = h * n
+                    elif need == 2:
+                        h = h * (n * (n - 1) * 0.5)
+                    else:
+                        term = n
+                        for d in range(1, need):
+                            term = term * (n - d)
+                        h = h * (term / facts[p])
+                out[j, i] = rate * h
+    for j in range(1, n_reactions):
+        for i in range(m):
+            out[j, i] = out[j, i] + out[j - 1, i]
+
+
+def _select_events(cumulative, picks, n_reactions, out) -> None:
+    """Cumulative-sum inversion: ``out[i]`` counts the running sums
+    strictly below ``picks[i]``, clipped to the last reaction."""
+    m = cumulative.shape[1]
+    last = n_reactions - 1
+    for i in range(m):
+        chosen = 0
+        pick = picks[i]
+        for j in range(n_reactions):
+            if cumulative[j, i] < pick:
+                chosen += 1
+        if chosen > last:
+            chosen = last
+        out[i] = chosen
+
+
+def _apply_stoich(X, stoich, chosen) -> None:
+    """``X += stoich[chosen]`` as an explicit scatter."""
+    m = X.shape[0]
+    n_species = X.shape[1]
+    for i in range(m):
+        row = chosen[i]
+        for s in range(n_species):
+            X[i, s] = X[i, s] + stoich[row, s]
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+class NumpyKernel:
+    """The reference backend: delegates to the compiled network's
+    vectorised expressions (the exact code the simulator inlines when no
+    kernel is selected)."""
+
+    name = "numpy"
+
+    def __init__(self, compiled) -> None:
+        self.compiled = compiled
+
+    def propensities_cumsum_T(self, X: np.ndarray) -> np.ndarray:
+        return np.cumsum(self.compiled.propensities_T(X), axis=0)
+
+    def select_events(self, cumulative: np.ndarray,
+                      picks: np.ndarray) -> np.ndarray:
+        chosen = (cumulative < picks[None, :]).sum(axis=0)
+        np.clip(chosen, 0, self.compiled.n_reactions - 1, out=chosen)
+        return chosen
+
+    def apply_stoich(self, X: np.ndarray, stoich: np.ndarray,
+                     chosen: np.ndarray) -> None:
+        X += stoich[chosen]
+
+
+_NUMBA_CACHE: Optional[tuple[Callable, Callable, Callable]] = None
+
+
+def _numba_kernels() -> tuple[Callable, Callable, Callable]:
+    """Compile (once per process) the three loops with numba.
+
+    ``fastmath`` stays off and no parallelisation is requested: the JIT
+    must execute the same IEEE-754 operations in the same order as the
+    numpy oracle, or bit-identity (and with it the cluster's replay
+    guarantee) is gone.  ``cache=True`` persists the machine code across
+    processes -- the process farm's workers each import this module.
+    """
+    global _NUMBA_CACHE
+    if _NUMBA_CACHE is not None:
+        return _NUMBA_CACHE
+    try:
+        from numba import njit
+    except ImportError as exc:
+        raise KernelUnavailable(
+            "engine_kernel='numba' needs the numba package "
+            "(pip install 'repro[numba]')") from exc
+    jit = njit(cache=True, fastmath=False, nogil=True)
+    _NUMBA_CACHE = (jit(_propensities_cumsum_T), jit(_select_events),
+                    jit(_apply_stoich))
+    return _NUMBA_CACHE
+
+
+class NumbaKernel:
+    """JIT-compiled fused loops, bit-identical to the numpy oracle."""
+
+    name = "numba"
+
+    def __init__(self, compiled) -> None:
+        self._props, self._select, self._apply = _numba_kernels()
+        self.compiled = compiled
+        self.plan = MassActionPlan(compiled)
+        self._functional = compiled._functional
+
+    def propensities_cumsum_T(self, X: np.ndarray) -> np.ndarray:
+        m = X.shape[0]
+        plan = self.plan
+        if self._functional:
+            func_values = np.empty((len(self._functional), m))
+            for k, (_j, law) in enumerate(self._functional):
+                func_values[k] = law(X)
+        else:
+            func_values = np.empty((0, m))
+        out = np.empty((plan.n_reactions, m))
+        self._props(plan.rates, plan.indptr, plan.cols, plan.needs,
+                    plan.facts, plan.func_index, func_values, X, out)
+        return out
+
+    def select_events(self, cumulative: np.ndarray,
+                      picks: np.ndarray) -> np.ndarray:
+        chosen = np.empty(cumulative.shape[1], dtype=np.int64)
+        self._select(cumulative, picks, self.plan.n_reactions, chosen)
+        return chosen
+
+    def apply_stoich(self, X: np.ndarray, stoich: np.ndarray,
+                     chosen: np.ndarray) -> None:
+        self._apply(X, stoich, chosen)
+
+
+class CupyKernel:
+    """Real-GPU dispatch shim: the same three steps on CuPy arrays.
+
+    Inputs and outputs stay numpy (the surrounding loop -- RNG, retire,
+    compaction -- is host-side), so every call pays a transfer; this is
+    a correctness-first bridge to a real device, not the final word on
+    GPU performance.  Not bit-pinned to the oracle: the device cumsum is
+    a parallel scan.
+    """
+
+    name = "cupy"
+
+    def __init__(self, compiled) -> None:
+        try:
+            import cupy
+            cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:  # noqa: BLE001 - import or driver error
+            raise KernelUnavailable(
+                "engine_kernel='cupy' needs the cupy package and a CUDA "
+                "device (pip install 'repro[cupy]')") from exc
+        self._cp = cupy
+        self.compiled = compiled
+        self.plan = MassActionPlan(compiled)
+        self._functional = compiled._functional
+        self._rates = cupy.asarray(self.plan.rates)
+        self._stoich = None  # cached device copy, keyed by host id
+
+    def propensities_cumsum_T(self, X: np.ndarray) -> np.ndarray:
+        cp = self._cp
+        compiled = self.compiled
+        Xd = cp.asarray(X)
+        out = cp.empty((compiled.n_reactions, X.shape[0]))
+        for j in range(compiled.n_reactions):
+            k = self.plan.func_index[j]
+            if k >= 0:
+                continue
+            h = cp.ones(X.shape[0])
+            for p in range(self.plan.indptr[j], self.plan.indptr[j + 1]):
+                n = Xd[:, self.plan.cols[p]]
+                need = int(self.plan.needs[p])
+                if need == 1:
+                    h = h * n
+                elif need == 2:
+                    h = h * (n * (n - 1) * 0.5)
+                else:
+                    term = n
+                    for d in range(1, need):
+                        term = term * (n - d)
+                    h = h * (term / self.plan.facts[p])
+            out[j] = self._rates[j] * h
+        for j, law in self._functional:
+            value = cp.asarray(law(X))  # closures are host-side numpy
+            for p in range(self.plan.indptr[j], self.plan.indptr[j + 1]):
+                value = cp.where(
+                    Xd[:, self.plan.cols[p]] >= self.plan.needs[p],
+                    value, 0.0)
+            out[j] = value
+        return cp.asnumpy(cp.cumsum(out, axis=0))
+
+    def select_events(self, cumulative: np.ndarray,
+                      picks: np.ndarray) -> np.ndarray:
+        cp = self._cp
+        chosen = (cp.asarray(cumulative)
+                  < cp.asarray(picks)[None, :]).sum(axis=0)
+        cp.clip(chosen, 0, self.plan.n_reactions - 1, out=chosen)
+        return cp.asnumpy(chosen)
+
+    def apply_stoich(self, X: np.ndarray, stoich: np.ndarray,
+                     chosen: np.ndarray) -> None:
+        X += stoich[chosen]  # host-side: X lives in the loop's workspace
+
+
+_BACKENDS = {
+    "numpy": NumpyKernel,
+    "numba": NumbaKernel,
+    "cupy": CupyKernel,
+}
+
+
+def make_kernel(name: str, compiled):
+    """Build the ``name`` kernel bound to ``compiled``.
+
+    Raises :class:`KernelUnavailable` (a clean, catchable signal -- the
+    CLI turns it into an error message, tests into a skip) when the
+    backing package or device is absent.
+    """
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; pick one of "
+            f"{', '.join(KERNEL_NAMES)}") from None
+    return factory(compiled)
+
+
+def kernel_available(name: str) -> bool:
+    """Probe whether ``name`` could be built here (imports on demand)."""
+    if name == "numpy":
+        return True
+    if name == "numba":
+        try:
+            import numba  # noqa: F401
+            return True
+        except ImportError:
+            return False
+    if name == "cupy":
+        try:
+            import cupy
+            cupy.cuda.runtime.getDeviceCount()
+            return True
+        except Exception:  # noqa: BLE001
+            return False
+    return False
+
+
+def available_kernels() -> dict[str, bool]:
+    """Availability of every kernel backend in this environment."""
+    return {name: kernel_available(name) for name in KERNEL_NAMES}

@@ -1,14 +1,41 @@
-"""Frame codec: length-prefixed, checksummed pickles.
+"""Frame codec: length-prefixed, checksummed pickles -- with a zero-copy
+out-of-band format for array payloads.
 
-Every message of the distributed simulator (simulation tasks outbound,
-quantum results inbound) is encoded as::
+Two wire formats coexist on the same stream (the decoder switches on the
+magic):
+
+**Legacy frames** (magic ``CW``) -- one pickled payload, checksummed in
+full::
 
     | magic (2) | length (4, big-endian) | crc32 (4) | payload (length) |
 
-The checksum catches truncated or corrupted frames; the length prefix
-makes the codec usable over any byte stream.  ``FrameCodec`` also counts
-messages and bytes, which is how the performance models get *measured*
-message sizes rather than guessed ones.
+**Out-of-band frames** (magic ``C5``) -- pickle protocol 5 splits the
+message into a small *control* pickle (object structure, scalars) and the
+raw buffer segments of its NumPy arrays, which are framed verbatim
+instead of being copied through the pickle stream::
+
+    | magic (2) | n_buffers (2) | crc32 (4) | control_len (4) |
+    | buffer_len[i] (8 each) | control pickle | pad | buffer[0] | pad | ...
+
+Buffer segments are 8-byte aligned (relative to the control pickle's
+start) so the receiver can reconstruct float64/int64 arrays directly over
+the receive buffer.  The checksum covers the header-side metadata (the
+buffer-length table) and the control pickle only -- *not* the raw array
+segments: re-hashing multi-megabyte payloads on both send and receive
+costs more than the whole framing layer, and the raw segments are already
+protected in transit by the TCP checksum.  The crc is a framing-integrity
+guard (desync detection), not end-to-end array integrity.
+
+On encode, arrays are exposed as :class:`pickle.PickleBuffer` segments
+(no copy); on decode, the frame body is copied once out of the socket
+buffer into a fresh ``bytearray`` and every array is reconstructed as a
+(writable) view over it -- one copy per frame total, independent of how
+many arrays it carries.  Buffers smaller than :data:`OOB_THRESHOLD` stay
+in-band: framing overhead beats the copy for tiny arrays.
+
+``FrameCodec`` counts messages and bytes -- split into pickled
+(``bytes_pickled``) and zero-copy (``bytes_oob``) traffic, which is how
+``benchmarks/bench_transport.py`` measures bytes *copied* per quantum.
 """
 
 from __future__ import annotations
@@ -16,31 +43,192 @@ from __future__ import annotations
 import pickle
 import struct
 import zlib
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence, Union
 
 MAGIC = b"CW"
+MAGIC_OOB = b"C5"
 _HEADER = struct.Struct(">2sII")
+_HEADER_OOB = struct.Struct(">2sHII")
+_BUFLEN = struct.Struct(">Q")
+_ALIGN = 8
+#: buffers below this size are serialised in-band (framing a dozen-byte
+#: array out of band -- 8-byte length prefix, alignment pad, an iovec
+#: slot -- costs more than copying it; above it the copy dominates)
+OOB_THRESHOLD = 64
+#: conservative bound on iovec count per sendmsg (Linux UIO_MAXIOV=1024)
+_IOV_MAX = 512
+
+Segment = Union[bytes, memoryview]
 
 
 class FrameError(ValueError):
     """Raised on malformed, truncated or corrupted frames."""
 
 
+def _pad(offset: int) -> int:
+    return -offset % _ALIGN
+
+
 def encode_frame(obj: Any) -> bytes:
-    """Serialise one object into a framed message."""
+    """Serialise one object into a legacy (fully checksummed) frame."""
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     checksum = zlib.crc32(payload) & 0xFFFFFFFF
     return _HEADER.pack(MAGIC, len(payload), checksum) + payload
 
 
+def encode_frame_segments(obj: Any,
+                          oob_threshold: int = OOB_THRESHOLD
+                          ) -> list[Segment]:
+    """Serialise one object into out-of-band frame segments.
+
+    Returns a list of bytes-like segments forming one ``C5`` frame when
+    concatenated.  Array buffers of at least ``oob_threshold`` bytes are
+    included as live memoryviews of the original arrays (zero-copy: do
+    not mutate them until the segments have been sent), everything else
+    travels through the control pickle.
+    """
+    raws: list[memoryview] = []
+
+    def keep_out_of_band(buffer: pickle.PickleBuffer):
+        # pickle's convention: truthy -> serialise in-band (copied into
+        # the control stream), falsy -> keep out-of-band
+        view = buffer.raw()
+        if view.nbytes < oob_threshold:
+            return True  # in-band: copying beats framing for tiny arrays
+        raws.append(view)
+        return False
+
+    control = pickle.dumps(obj, protocol=5,
+                           buffer_callback=keep_out_of_band)
+    table = b"".join(_BUFLEN.pack(view.nbytes) for view in raws)
+    checksum = zlib.crc32(control, zlib.crc32(table)) & 0xFFFFFFFF
+    segments: list[Segment] = [
+        _HEADER_OOB.pack(MAGIC_OOB, len(raws), checksum, len(control))
+        + table,
+        control,
+    ]
+    offset = len(control)
+    for view in raws:
+        pad = _pad(offset)
+        if pad:
+            segments.append(b"\x00" * pad)
+            offset += pad
+        segments.append(view)
+        offset += view.nbytes
+    return segments
+
+
+def encode_frame_oob(obj: Any, oob_threshold: int = OOB_THRESHOLD) -> bytes:
+    """:func:`encode_frame_segments` joined into one buffer (for pipes,
+    files and tests; sockets should send the segments vectored)."""
+    return b"".join(bytes(s) for s in encode_frame_segments(
+        obj, oob_threshold=oob_threshold))
+
+
+def segments_nbytes(segments: Sequence[Segment]) -> int:
+    """Total wire size of a segment list."""
+    return sum(
+        s.nbytes if isinstance(s, memoryview) else len(s)
+        for s in segments)
+
+
+def send_segments(sock, segments: Sequence[Segment]) -> int:
+    """Send a segment list over ``sock`` without concatenating it.
+
+    Uses vectored I/O (``sendmsg``) in iovec-bounded chunks, handling
+    partial sends; falls back to ``sendall`` where ``sendmsg`` is
+    unavailable.  Returns the bytes sent.
+    """
+    pending = [memoryview(s).cast("B") for s in segments]
+    total = sum(m.nbytes for m in pending)
+    if not hasattr(sock, "sendmsg"):
+        for view in pending:
+            sock.sendall(view)
+        return total
+    while pending:
+        chunk = pending[:_IOV_MAX]
+        sent = sock.sendmsg(chunk)
+        while sent:
+            head = pending[0]
+            if sent >= head.nbytes:
+                sent -= head.nbytes
+                pending.pop(0)
+            else:
+                pending[0] = head[sent:]
+                sent = 0
+    return total
+
+
+def _oob_frame_end(buffer, start: int) -> "int | None":
+    """End offset of the ``C5`` frame at ``start``; None if incomplete."""
+    if len(buffer) - start < _HEADER_OOB.size:
+        return None
+    _magic, n_buffers, _crc, control_len = _HEADER_OOB.unpack_from(
+        buffer, start)
+    table_end = start + _HEADER_OOB.size + n_buffers * _BUFLEN.size
+    if len(buffer) < table_end:
+        return None
+    offset = control_len
+    for i in range(n_buffers):
+        (length,) = _BUFLEN.unpack_from(
+            buffer, start + _HEADER_OOB.size + i * _BUFLEN.size)
+        offset += _pad(offset) + length
+    end = table_end + offset
+    return end if len(buffer) >= end else None
+
+
+def _decode_oob(buffer, start: int, end: int) -> Any:
+    """Decode the complete ``C5`` frame spanning ``[start, end)``.
+
+    The frame body is copied once into a fresh ``bytearray`` so the
+    reconstructed arrays are writable views that outlive (and never
+    block) the caller's receive buffer.
+    """
+    _magic, n_buffers, checksum, control_len = _HEADER_OOB.unpack_from(
+        buffer, start)
+    table_start = start + _HEADER_OOB.size
+    body_start = table_start + n_buffers * _BUFLEN.size
+    table = bytes(buffer[table_start:body_start])
+    body = bytearray(buffer[body_start:end])  # the one per-frame copy
+    control = memoryview(body)[:control_len]
+    if (zlib.crc32(control, zlib.crc32(table)) & 0xFFFFFFFF) != checksum:
+        raise FrameError("checksum mismatch (corrupted frame header)")
+    views: list[memoryview] = []
+    offset = control_len
+    for i in range(n_buffers):
+        (length,) = _BUFLEN.unpack_from(table, i * _BUFLEN.size)
+        offset += _pad(offset)
+        views.append(memoryview(body)[offset:offset + length])
+        offset += length
+    try:
+        return pickle.loads(control, buffers=views)
+    except FrameError:
+        raise
+    except Exception as exc:
+        raise FrameError(f"undecodable payload: {exc}") from exc
+
+
 def decode_frame(data: bytes) -> tuple[Any, bytes]:
-    """Decode one frame from ``data``; returns ``(object, rest)``."""
+    """Decode one frame (either format) from ``data``; returns
+    ``(object, rest)``."""
+    if len(data) < 2:
+        raise FrameError(f"truncated header: {len(data)} < 2 bytes")
+    magic = data[:2]
+    if magic == MAGIC_OOB:
+        if len(data) < _HEADER_OOB.size:
+            raise FrameError(
+                f"truncated header: {len(data)} < {_HEADER_OOB.size} bytes")
+        end = _oob_frame_end(data, 0)
+        if end is None:
+            raise FrameError(
+                f"truncated out-of-band frame: have {len(data)} bytes")
+        return _decode_oob(data, 0, end), data[end:]
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
     if len(data) < _HEADER.size:
         raise FrameError(
             f"truncated header: {len(data)} < {_HEADER.size} bytes")
     magic, length, checksum = _HEADER.unpack_from(data)
-    if magic != MAGIC:
-        raise FrameError(f"bad magic {magic!r}")
     end = _HEADER.size + length
     if len(data) < end:
         raise FrameError(
@@ -71,7 +259,8 @@ class StreamDecoder:
     behind ``socket.recv``: TCP delivers arbitrary chunks that split and
     coalesce frames freely.  ``StreamDecoder`` buffers partial reads:
     :meth:`feed` consumes one received chunk and returns every message
-    completed by it (possibly none, possibly several).
+    completed by it (possibly none, possibly several).  Both wire formats
+    are accepted, interleaved freely on one stream.
 
     A truncated header or payload is *not* an error -- the bytes wait in
     the buffer for the next read.  A bad magic or checksum *is* an error
@@ -95,11 +284,30 @@ class StreamDecoder:
         self._buffer.extend(data)
         out: list[Any] = []
         while True:
+            if len(self._buffer) < 2:
+                break
+            magic = bytes(self._buffer[:2])
+            if magic == MAGIC_OOB:
+                end = _oob_frame_end(self._buffer, 0)
+                if end is None:
+                    break
+                (_m, n_buffers, _crc,
+                 control_len) = _HEADER_OOB.unpack_from(self._buffer)
+                obj = _decode_oob(self._buffer, 0, end)
+                del self._buffer[:end]
+                self.frames_decoded += 1
+                if self.codec is not None:
+                    pickled = (_HEADER_OOB.size
+                               + n_buffers * _BUFLEN.size + control_len)
+                    self.codec.account_in(end, pickled=pickled,
+                                          oob=end - pickled)
+                out.append(obj)
+                continue
+            if magic != MAGIC:
+                raise FrameError(f"bad magic {magic!r} (stream desynced)")
             if len(self._buffer) < _HEADER.size:
                 break
             magic, length, checksum = _HEADER.unpack_from(self._buffer)
-            if magic != MAGIC:
-                raise FrameError(f"bad magic {magic!r} (stream desynced)")
             end = _HEADER.size + length
             if len(self._buffer) < end:
                 break
@@ -123,7 +331,13 @@ class StreamDecoder:
 
 
 class FrameCodec:
-    """Stateful encode/decode with traffic accounting."""
+    """Stateful encode/decode with traffic accounting.
+
+    ``bytes_out`` / ``bytes_in`` count total wire traffic;
+    ``bytes_pickled`` / ``bytes_oob`` split it into bytes that were
+    *copied* through the pickle stream (and checksummed) versus raw
+    buffer segments framed zero-copy.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -131,12 +345,29 @@ class FrameCodec:
         self.messages_in = 0
         self.bytes_out = 0
         self.bytes_in = 0
+        self.bytes_pickled = 0
+        self.bytes_oob = 0
 
     def encode(self, obj: Any) -> bytes:
         frame = encode_frame(obj)
         self.messages_out += 1
         self.bytes_out += len(frame)
+        self.bytes_pickled += len(frame)
         return frame
+
+    def encode_segments(self, obj: Any,
+                        oob_threshold: int = OOB_THRESHOLD
+                        ) -> list[Segment]:
+        """Encode as an out-of-band frame; returns the segment list (send
+        with :func:`send_segments`)."""
+        segments = encode_frame_segments(obj, oob_threshold=oob_threshold)
+        total = segments_nbytes(segments)
+        pickled = segments_nbytes(segments[:2])
+        self.messages_out += 1
+        self.bytes_out += total
+        self.bytes_pickled += pickled
+        self.bytes_oob += total - pickled
+        return segments
 
     def decode(self, frame: bytes) -> Any:
         obj, rest = decode_frame(frame)
@@ -145,11 +376,14 @@ class FrameCodec:
         self.account_in(len(frame))
         return obj
 
-    def account_in(self, n_bytes: int) -> None:
+    def account_in(self, n_bytes: int, pickled: "int | None" = None,
+                   oob: int = 0) -> None:
         """Record one inbound message of ``n_bytes`` (used by
         :class:`StreamDecoder`, which decodes the bytes itself)."""
         self.messages_in += 1
         self.bytes_in += n_bytes
+        self.bytes_pickled += n_bytes if pickled is None else pickled
+        self.bytes_oob += oob
 
     def mean_message_size(self) -> float:
         total = self.messages_out + self.messages_in

@@ -52,7 +52,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
-from repro.distributed.message import FrameCodec, FrameError, StreamDecoder
+from repro.distributed.message import (FrameCodec, FrameError, StreamDecoder,
+                                       send_segments)
 from repro.ff.node import SourceNode
 
 
@@ -183,6 +184,11 @@ class ClusterMaster:
     fault_hook:
         Test/chaos hook ``hook(master)`` invoked after every processed
         result (see :class:`KillWorkerAfter`).
+    zero_copy:
+        Frame numpy payloads as out-of-band buffer segments (pickle
+        protocol 5) instead of copying them through the pickle stream,
+        on both directions of every link; workers inherit the setting.
+        Replay after a worker death is bit-identical either way.
     """
 
     def __init__(self, tasks: list, n_workers: int, *,
@@ -194,7 +200,8 @@ class ClusterMaster:
                  accept_timeout: float = 30.0,
                  poll_interval: float = 0.05,
                  stop_requested: Optional[Callable[[], bool]] = None,
-                 fault_hook: Optional[Callable[["ClusterMaster"], None]] = None):
+                 fault_hook: Optional[Callable[["ClusterMaster"], None]] = None,
+                 zero_copy: bool = True):
         if n_workers < 1:
             raise ValueError("need >= 1 worker")
         if inflight_window < 1:
@@ -214,6 +221,7 @@ class ClusterMaster:
         self.poll_interval = poll_interval
         self.stop_requested = stop_requested
         self.fault_hook = fault_hook
+        self.zero_copy = zero_copy
 
         self.workers: dict[int, WorkerHandle] = {}
         self.ready: deque = deque()
@@ -299,7 +307,8 @@ class ClusterMaster:
             proc = multiprocessing.Process(
                 target=worker_main,
                 args=(self.bind_host, self.port, worker_id),
-                kwargs={"heartbeat_interval": self.heartbeat_interval},
+                kwargs={"heartbeat_interval": self.heartbeat_interval,
+                        "zero_copy": self.zero_copy},
                 daemon=True, name=f"cluster-worker-{worker_id}")
             proc.start()
             self._procs[worker_id] = proc
@@ -431,10 +440,13 @@ class ClusterMaster:
         return self._send(handle, TaskMsg(task))
 
     def _send(self, handle: WorkerHandle, obj: Any) -> bool:
-        frame = handle.codec.encode(obj)
         started = time.monotonic()
         try:
-            handle.sock.sendall(frame)
+            if self.zero_copy:
+                send_segments(handle.sock,
+                              handle.codec.encode_segments(obj))
+            else:
+                handle.sock.sendall(handle.codec.encode(obj))
         except OSError as exc:
             self._worker_dead(handle.worker_id, f"send failed: {exc}")
             return False
@@ -546,7 +558,8 @@ class ClusterMaster:
             "net.inflight_wait_s": self.inflight_wait_s,
         }
         totals = {"bytes_out": 0, "bytes_in": 0,
-                  "messages_out": 0, "messages_in": 0}
+                  "messages_out": 0, "messages_in": 0,
+                  "bytes_pickled": 0, "bytes_oob": 0}
         for worker_id, handle in sorted(self.workers.items()):
             codec = handle.codec
             prefix = f"net.link.w{worker_id}"
@@ -560,6 +573,8 @@ class ClusterMaster:
             totals["bytes_in"] += codec.bytes_in
             totals["messages_out"] += codec.messages_out
             totals["messages_in"] += codec.messages_in
+            totals["bytes_pickled"] += codec.bytes_pickled
+            totals["bytes_oob"] += codec.bytes_oob
         for name, value in totals.items():
             counters[f"net.{name}"] = value
         return counters
@@ -631,7 +646,8 @@ def run_workflow_cluster(model, config, controller=None, tracer=None,
     tasks = make_tasks(model, config.n_simulations, config.t_end,
                        config.quantum, config.sample_every,
                        seed=config.seed, engine=config.engine,
-                       batch_size=config.batch_size)
+                       batch_size=config.batch_size,
+                       engine_kernel=config.engine_kernel)
     stop_requested = (
         (lambda: controller.stop_requested) if controller is not None
         else None)
@@ -642,7 +658,8 @@ def run_workflow_cluster(model, config, controller=None, tracer=None,
         heartbeat_interval=config.heartbeat_interval,
         heartbeat_timeout=config.heartbeat_timeout,
         stop_requested=stop_requested,
-        fault_hook=fault_hook)
+        fault_hook=fault_hook,
+        zero_copy=config.zero_copy)
     cut_store: Optional[list] = [] if config.keep_cuts else None
     stages: list = [ClusterSourceNode(master), make_aligner(config)]
     stages.extend(analysis_stages(config, cut_store=cut_store,

@@ -18,6 +18,8 @@ from typing import Optional, Union
 
 from repro.cwc.model import Model
 from repro.cwc.network import ReactionNetwork
+from repro.distributed.shm import (make_prefix, map_results,
+                                   publish_results, sweep_orphans)
 from repro.ff.node import GO_ON, Node
 from repro.ff.trace import Tracer
 from repro.pipeline.builder import WorkflowResult, build_workflow
@@ -32,14 +34,34 @@ def _run_quantum(task):
     return task, result
 
 
+def _run_quantum_shm(task, prefix):
+    """Like :func:`_run_quantum`, but the sample arrays are published to
+    the shared-memory result ring: the future carries only the advanced
+    task state and a small descriptor block."""
+    outcome = task.run_quantum()
+    results = outcome if isinstance(outcome, list) else [outcome]
+    return task, publish_results(results, prefix)
+
+
 class ProcessSimEngineNode(Node):
     """Drop-in for :class:`~repro.sim.engine.SimEngineNode` backed by a
     shared process pool.  The engine thread blocks on the future (GIL
-    released) while the quantum runs in another process."""
+    released) while the quantum runs in another process.
 
-    def __init__(self, pool: ProcessPoolExecutor, name: str = "psim-eng"):
+    With ``shm_prefix`` set, quantum results come back through the
+    shared-memory result ring (:mod:`repro.distributed.shm`): the worker
+    publishes the sample arrays into shared pages and this node maps
+    them into zero-copy :class:`~repro.sim.task.QuantumResult` views.
+    Every mapped result must be released exactly once -- results this
+    node drops (empty, not done) are released here; forwarded ones are
+    released by the aligner after ingest.
+    """
+
+    def __init__(self, pool: ProcessPoolExecutor, name: str = "psim-eng",
+                 shm_prefix: Optional[str] = None):
         super().__init__(name=name)
         self.pool = pool
+        self.shm_prefix = shm_prefix
         self.quanta_executed = 0
 
     def svc_init(self) -> None:
@@ -47,17 +69,27 @@ class ProcessSimEngineNode(Node):
 
     def svc(self, task: Union[SimulationTask, BatchSimulationTask]):
         steps_before = task.steps
-        updated, outcome = self.pool.submit(_run_quantum, task).result()
+        if self.shm_prefix is not None:
+            updated, block = self.pool.submit(
+                _run_quantum_shm, task, self.shm_prefix).result()
+            results = map_results(block)
+            if block.name is not None:
+                self.trace_incr("proc.shm_blocks", 1)
+                self.trace_incr("proc.shm_bytes", block.payload_nbytes)
+        else:
+            updated, outcome = self.pool.submit(_run_quantum, task).result()
+            # a batch task yields one QuantumResult per member trajectory
+            results = outcome if isinstance(outcome, list) else [outcome]
         self.quanta_executed += 1
         steps = updated.steps - steps_before
-        # a batch task yields one QuantumResult per member trajectory
-        results = outcome if isinstance(outcome, list) else [outcome]
         retired = 0
         for result in results:
             if result.done:
                 retired += 1
             if len(result) or result.done:
                 self.ff_send_out(result)
+            else:
+                result.release()  # dropped: give back its segment ref now
         self.trace_incr("sim.steps", steps)
         self.trace_incr("sim.quanta", 1)
         self.trace_incr("proc.quanta_offloaded", 1)
@@ -74,15 +106,26 @@ def run_workflow_multiprocess(model: Union[Model, ReactionNetwork],
                               ) -> WorkflowResult:
     """Like :func:`repro.pipeline.run_workflow`, with process-backed
     simulation engines.  Requires a picklable model (all bundled models
-    are; avoid lambda rate laws)."""
+    are; avoid lambda rate laws).
+
+    With ``config.zero_copy`` (the default) quantum results return
+    through the shared-memory result ring instead of the future pipe;
+    any segment leaked by a worker dying mid-publish is swept when the
+    run ends.  Results are bit-identical either way.
+    """
     from repro.ff.executor import run as ff_run
 
     cut_store: Optional[list] = [] if config.keep_cuts else None
-    with ProcessPoolExecutor(max_workers=config.n_sim_workers) as pool:
-        workflow = build_workflow(
-            model, config, controller=controller, cut_store=cut_store,
-            engine_factory=lambda i: ProcessSimEngineNode(
-                pool, name=f"psim-eng-{i}"))
-        windows = ff_run(workflow, backend="threads", trace=tracer)
+    prefix = make_prefix() if config.zero_copy else None
+    try:
+        with ProcessPoolExecutor(max_workers=config.n_sim_workers) as pool:
+            workflow = build_workflow(
+                model, config, controller=controller, cut_store=cut_store,
+                engine_factory=lambda i: ProcessSimEngineNode(
+                    pool, name=f"psim-eng-{i}", shm_prefix=prefix))
+            windows = ff_run(workflow, backend="threads", trace=tracer)
+    finally:
+        if prefix is not None:
+            sweep_orphans(prefix)
     return WorkflowResult(config=config, windows=windows,
                           cuts=cut_store or [])

@@ -1,0 +1,324 @@
+"""Shared-memory result ring for the processes backend.
+
+The process farm's original result path pickles every
+:class:`~repro.sim.task.QuantumResult` through the
+``ProcessPoolExecutor`` future pipe -- for a 1024-trajectory batch
+quantum that is megabytes of sample arrays copied into a pickle stream,
+out of it, and once more into the aligner's ring.  This module gives the
+worker process a way to *publish* those arrays into
+:mod:`multiprocessing.shared_memory` pages instead: the future carries
+only a small picklable descriptor (:class:`ShmBlock`), and the master
+maps the pages and hands the aligner NumPy views straight over shared
+memory.
+
+Lifecycle is explicit and master-owned:
+
+* the **worker** creates one segment per quantum (all of the quantum's
+  sample arrays packed back to back), immediately detaches its own
+  ``resource_tracker`` registration (so a worker exiting does not yank
+  pages the master still reads) and closes its mapping;
+* the **master** attaches, also detaches the tracker registration, and
+  wraps the mapping in a refcounted :class:`Segment` shared by every
+  result decoded from the block.  Each consumer calls
+  ``QuantumResult.release()`` after ingesting the samples; the last
+  release closes *and unlinks* the segment;
+* segment names embed a per-run prefix (master pid + random token), so
+  :func:`sweep_orphans` can reclaim pages leaked by a worker that died
+  mid-publish (or a master that crashed before releasing) without ever
+  touching another run's segments.
+
+Results that are tiny, empty or in row form ride inline in the
+descriptor -- shared-memory setup costs more than pickling below
+:data:`SHM_MIN_BYTES`.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import secrets
+import threading
+from itertools import count
+from multiprocessing import shared_memory
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.sim.task import QuantumResult
+
+#: every segment name starts with this; the per-run prefix appends the
+#: master pid and a random token (see :func:`make_prefix`)
+SEGMENT_PREFIX = "repro-shm"
+
+#: below this many payload bytes per quantum, plain pickling wins (one
+#: shm_open + ftruncate + mmap + unlink round trip costs more than
+#: copying a few KB through the future pipe)
+SHM_MIN_BYTES = 4096
+
+_ALIGN = 8
+_counter = count()
+
+# where POSIX shared memory shows up as files (Linux); sweep/leak
+# detection degrade to no-ops elsewhere
+_SHM_DIR = "/dev/shm"
+
+
+def make_prefix(master_pid: Optional[int] = None) -> str:
+    """A per-run segment-name prefix: ``repro-shm-<masterpid>-<token>``.
+
+    The pid scopes leak detection to this master process; the random
+    token keeps concurrent runs inside one process (e.g. parallel test
+    threads) from sweeping each other's segments.
+    """
+    pid = os.getpid() if master_pid is None else master_pid
+    return f"{SEGMENT_PREFIX}-{pid}-{secrets.token_hex(4)}"
+
+
+def _untrack(name: str) -> None:
+    """Detach a segment this process *created* from the resource
+    tracker.
+
+    ``SharedMemory(create=True)`` registers the name with
+    :mod:`multiprocessing.resource_tracker`, which would unlink the
+    pages when the creating worker exits -- while the master may still
+    be reading them.  Lifecycle here is explicit (:class:`Segment` /
+    :func:`sweep_orphans`), so the creator opts out.  Attaching does not
+    register on this Python, so only the publish side calls this.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker quirks must not kill I/O
+        pass
+
+
+class Segment:
+    """Master-side handle of one mapped segment, shared by all results
+    decoded from the same block.
+
+    Consumers decrement via :meth:`release`; the last release closes the
+    mapping and unlinks the backing pages.  Thread-safe: the engine
+    thread releases results it drops while the aligner thread releases
+    the ones it ingests.
+    """
+
+    __slots__ = ("_shm", "_refs", "_lock")
+
+    def __init__(self, shm: shared_memory.SharedMemory, refs: int):
+        if refs < 1:
+            raise ValueError("refs must be >= 1")
+        self._shm = shm
+        self._refs = refs
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            if self._refs:
+                return
+        # unlink first so leak detection sees the name gone even if the
+        # close below is refused; then unmap.  close() really does unmap
+        # under any still-live numpy view (no BufferError guard on this
+        # platform), which is why QuantumResult.release severs its array
+        # attributes before handing the reference back.
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass  # already swept (an orphan sweep raced us)
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # exported views left; GC closes when they go
+
+
+class ShmEntry:
+    """Descriptor of one columnar result whose arrays live in the
+    segment: offsets into the shared pages instead of the arrays."""
+
+    __slots__ = ("task_id", "time", "steps", "done", "grid_start",
+                 "times_offset", "values_offset", "n", "n_obs")
+
+    def __init__(self, task_id: int, time: float, steps: int, done: bool,
+                 grid_start: int, times_offset: int, values_offset: int,
+                 n: int, n_obs: int):
+        self.task_id = task_id
+        self.time = time
+        self.steps = steps
+        self.done = done
+        self.grid_start = grid_start
+        self.times_offset = times_offset
+        self.values_offset = values_offset
+        self.n = n
+        self.n_obs = n_obs
+
+    def __getstate__(self):
+        return (self.task_id, self.time, self.steps, self.done,
+                self.grid_start, self.times_offset, self.values_offset,
+                self.n, self.n_obs)
+
+    def __setstate__(self, state):
+        (self.task_id, self.time, self.steps, self.done, self.grid_start,
+         self.times_offset, self.values_offset, self.n, self.n_obs) = state
+
+
+class ShmBlock:
+    """The picklable message a worker returns for one quantum: inline
+    results interleaved (in original order) with :class:`ShmEntry`
+    descriptors pointing into the named segment.
+
+    ``name is None`` means the whole quantum rode inline (payload under
+    :data:`SHM_MIN_BYTES`, or nothing columnar to share).
+    """
+
+    __slots__ = ("name", "payload_nbytes", "entries")
+
+    def __init__(self, name: Optional[str], payload_nbytes: int,
+                 entries: list[Union[QuantumResult, ShmEntry]]):
+        self.name = name
+        self.payload_nbytes = payload_nbytes
+        self.entries = entries
+
+    def __getstate__(self):
+        return (self.name, self.payload_nbytes, self.entries)
+
+    def __setstate__(self, state):
+        self.name, self.payload_nbytes, self.entries = state
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _copy_into(shm: shared_memory.SharedMemory, offset: int,
+               arr: np.ndarray) -> None:
+    """Copy ``arr`` into the segment at ``offset``.  The scratch view
+    must not outlive this call: ``SharedMemory.close`` unmaps the pages
+    with no regard for exported buffers."""
+    dst = np.ndarray(arr.shape, np.float64, buffer=shm.buf, offset=offset)
+    dst[:] = arr
+    del dst
+
+
+def publish_results(results: list[QuantumResult],
+                    prefix: str) -> ShmBlock:
+    """Worker side: pack the quantum's sample arrays into one fresh
+    segment and return the descriptor block.
+
+    Row-form and empty results stay inline (they have no arrays worth
+    sharing); if the columnar payload totals under :data:`SHM_MIN_BYTES`
+    everything stays inline and no segment is created.
+    """
+    total = 0
+    shareable = []
+    for result in results:
+        if result._samples is None and result._n:
+            times = np.ascontiguousarray(result._times, dtype=np.float64)
+            values = np.ascontiguousarray(result._values, dtype=np.float64)
+            shareable.append((result, times, values))
+            total = _aligned(total + times.nbytes)
+            total = _aligned(total + values.nbytes)
+    if total < SHM_MIN_BYTES:
+        return ShmBlock(None, 0, list(results))
+
+    name = f"{prefix}-{os.getpid()}-{next(_counter)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    try:
+        # from here the segment exists on disk: if this process dies
+        # before the return value reaches the master, only the per-run
+        # sweep can reclaim it -- exactly the orphan case sweep_orphans
+        # and the chaos test cover
+        _untrack(name)
+        entries: list[Union[QuantumResult, ShmEntry]] = []
+        offset = 0
+        packed = {id(r): (t, v) for r, t, v in shareable}
+        for result in results:
+            arrays = packed.get(id(result))
+            if arrays is None:
+                entries.append(result)
+                continue
+            times, values = arrays
+            t_off = offset
+            _copy_into(shm, t_off, times)
+            offset = _aligned(t_off + times.nbytes)
+            v_off = offset
+            _copy_into(shm, v_off, values)
+            offset = _aligned(v_off + values.nbytes)
+            entries.append(ShmEntry(
+                result.task_id, result.time, result.steps, result.done,
+                result.grid_start, t_off, v_off,
+                values.shape[0], values.shape[1]))
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    shm.close()  # the worker's mapping; the pages stay until unlink
+    return ShmBlock(name, total, entries)
+
+
+def map_results(block: ShmBlock) -> list[QuantumResult]:
+    """Master side: turn a descriptor block back into results.
+
+    Shared-memory entries become :class:`QuantumResult` objects whose
+    arrays are zero-copy views over the mapped pages, all tied to one
+    refcounted :class:`Segment` (one reference per mapped result); the
+    caller must see each one released exactly once.  Inline entries pass
+    through untouched.
+    """
+    if block.name is None:
+        return [e for e in block.entries]
+    n_mapped = sum(1 for e in block.entries if isinstance(e, ShmEntry))
+    shm = shared_memory.SharedMemory(name=block.name)
+    segment = Segment(shm, refs=n_mapped)
+    results: list[QuantumResult] = []
+    for entry in block.entries:
+        if not isinstance(entry, ShmEntry):
+            results.append(entry)
+            continue
+        times = np.ndarray((entry.n,), np.float64, buffer=shm.buf,
+                           offset=entry.times_offset)
+        values = np.ndarray((entry.n, entry.n_obs), np.float64,
+                            buffer=shm.buf, offset=entry.values_offset)
+        result = QuantumResult(
+            entry.task_id, None, time=entry.time, steps=entry.steps,
+            done=entry.done, grid_start=entry.grid_start,
+            times=times, values=values)
+        result.attach_segment(segment)
+        results.append(result)
+    return results
+
+
+def leaked_segments(prefix: str) -> list[str]:
+    """Names of segments under ``prefix`` still present on disk."""
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    return sorted(os.path.basename(p)
+                  for p in glob.glob(os.path.join(_SHM_DIR, prefix + "-*")))
+
+
+def sweep_orphans(prefix: str) -> list[str]:
+    """Unlink every leftover segment of this run; returns their names.
+
+    Called when a run ends (normally or not): a worker that died between
+    creating a segment and the master mapping it leaves pages nobody
+    will ever release.  Safe against concurrent releases -- both sides
+    tolerate an already-unlinked segment.
+    """
+    swept = []
+    for name in leaked_segments(prefix):
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+        except FileNotFoundError:
+            continue
+        swept.append(name)
+    return swept

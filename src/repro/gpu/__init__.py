@@ -27,6 +27,8 @@ from repro.gpu.simt import (
     simulate_gpu_run_ssa,
 )
 from repro.gpu.map_cuda import MapCUDANode
+from repro.gpu.real import (RealGpuDevice, gpu_batch_simulator,
+                            real_gpu_available)
 from repro.gpu.stencil_reduce import stencil_reduce
 from repro.gpu.workflow import GpuWorkflowResult, run_gpu_workflow
 
@@ -39,6 +41,9 @@ __all__ = [
     "simulate_gpu_run_ssa",
     "GpuRunStats",
     "MapCUDANode",
+    "RealGpuDevice",
+    "real_gpu_available",
+    "gpu_batch_simulator",
     "stencil_reduce",
     "GpuWorkflowResult",
     "run_gpu_workflow",

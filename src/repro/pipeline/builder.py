@@ -150,7 +150,8 @@ def build_workflow(model: Union[Model, ReactionNetwork],
     generator = TaskGenerator(
         model, config.n_simulations, config.t_end, config.quantum,
         config.sample_every, seed=config.seed, engine=config.engine,
-        batch_size=config.batch_size)
+        batch_size=config.batch_size,
+        engine_kernel=config.engine_kernel)
     stop_requested = (
         (lambda: controller.stop_requested) if controller is not None
         else None)

@@ -32,6 +32,11 @@ class WorkflowConfig:
     seed: Optional[int] = 0
     engine: str = "auto"          # "flat" | "cwc" | "auto" | "batch"
     batch_size: int = 64          # trajectories per block (engine="batch")
+    #: inner-loop kernel of the batch engine: "numpy" (the default and
+    #: the correctness oracle), "numba" (JIT-compiled, bit-identical to
+    #: numpy for the same seeds) or "cupy" (real-GPU arrays); the latter
+    #: two need the matching optional extra installed
+    engine_kernel: str = "numpy"
     scheduling: str = "ondemand"  # farm dispatch policy
     #: "threads" | "sequential" (in-process executors), "processes"
     #: (thread runtime + process-pool simulation engines) or "cluster"
@@ -44,6 +49,12 @@ class WorkflowConfig:
     keep_cuts: bool = False       # retain raw cuts (memory!) for examples
     trace: bool = False           # record runtime metrics (run report)
     trace_report_path: Optional[str] = None  # write the JSON report here
+    #: zero-copy result transport: out-of-band buffer frames on the
+    #: cluster backend, a shared-memory result ring on the processes
+    #: backend.  False falls back to plain pickled payloads (the
+    #: before/after axis of benchmarks/bench_transport.py); results are
+    #: bit-identical either way.
+    zero_copy: bool = True
     # -- cluster backend knobs (backend="cluster") ----------------------
     cluster_workers: Optional[int] = None  # None -> n_sim_workers
     cluster_inflight: int = 2     # bounded in-flight window per worker
@@ -51,6 +62,7 @@ class WorkflowConfig:
     heartbeat_timeout: Optional[float] = None  # None -> 10 * interval
 
     BACKENDS = ("threads", "sequential", "processes", "cluster")
+    ENGINE_KERNELS = ("numpy", "numba", "cupy")
 
     def __post_init__(self) -> None:
         if self.n_simulations < 1:
@@ -67,6 +79,10 @@ class WorkflowConfig:
             raise ValueError("heartbeat_interval must be > 0")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.engine_kernel not in self.ENGINE_KERNELS:
+            raise ValueError(
+                f"unknown engine_kernel {self.engine_kernel!r}; pick one "
+                f"of {', '.join(self.ENGINE_KERNELS)}")
         if self.t_end <= 0 or self.sample_every <= 0 or self.quantum <= 0:
             raise ValueError("t_end, sample_every, quantum must be > 0")
         if self.n_sim_workers < 1 or self.n_stat_workers < 1:

@@ -13,6 +13,8 @@ import sys
 import time
 
 from repro.analysis.peaks import ensemble_period
+from repro.cwc.kernels import KernelUnavailable
+from repro.ff.errors import NodeError
 from repro.models import (
     lotka_volterra_network,
     mm_enzyme_network,
@@ -59,6 +61,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=64,
                         help="trajectories per lockstep block "
                              "(--engine batch)")
+    parser.add_argument("--engine-kernel",
+                        choices=("numpy", "numba", "cupy"),
+                        default="numpy",
+                        help="inner-loop kernel of the batch engine: "
+                             "numpy (reference), numba (JIT, "
+                             "bit-identical to numpy) or cupy (real "
+                             "GPU); numba/cupy need the matching "
+                             "optional extra installed")
+    parser.add_argument("--no-zero-copy", action="store_true",
+                        help="disable the zero-copy result transport "
+                             "(shared-memory ring on the processes "
+                             "backend, out-of-band frames on the "
+                             "cluster backend) and pickle results "
+                             "instead")
     parser.add_argument("--backend",
                         choices=("threads", "sequential", "processes",
                                  "cluster"),
@@ -96,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
         kmeans_k=args.kmeans, filter_width=args.filter_width,
         histogram_bins=args.histogram,
         seed=args.seed, engine=args.engine, batch_size=args.batch_size,
+        engine_kernel=args.engine_kernel,
+        zero_copy=not args.no_zero_copy,
         backend=args.backend, keep_cuts=True,
         cluster_workers=args.workers, cluster_inflight=args.inflight,
         trace=args.trace or args.trace_report is not None,
@@ -112,7 +130,18 @@ def main(argv: list[str] | None = None) -> int:
 
     controller = SteeringController(on_progress=on_progress)
     started = time.perf_counter()
-    result = run_workflow(model, config, controller=controller)
+    try:
+        result = run_workflow(model, config, controller=controller)
+    except (KernelUnavailable, NodeError) as exc:
+        # task creation runs inside the source node, so a missing kernel
+        # backend surfaces wrapped in the runtime's NodeError
+        original = getattr(exc, "original", exc)
+        if not isinstance(original, KernelUnavailable):
+            raise
+        print(f"error: {original}", file=sys.stderr)
+        print("hint: rerun with --engine-kernel numpy (the reference "
+              "kernel, always available)", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
 
     print(f"\n{result.n_windows} windows, "

@@ -174,6 +174,7 @@ class TrajectoryAligner(Node):
                 "expected QuantumResult")
         n_samples = len(result)
         if not n_samples:
+            result.release()
             return GO_ON  # nothing new, nothing can have become ready
         task_id = result.task_id
         if self._fast and result._samples is None \
@@ -209,6 +210,9 @@ class TrajectoryAligner(Node):
                     self._n_at_min = self._task_high.count(new_min)
                     if new_min > self._next_emit:
                         self._emit_block(new_min - self._next_emit)
+            # samples are copied into the ring above: a shared-memory
+            # backed result can give its segment reference back now
+            result.release()
             return GO_ON
         if self._fast:
             self._demote()
@@ -233,6 +237,7 @@ class TrajectoryAligner(Node):
         if self._pending > self.max_buffered:
             self.max_buffered = self._pending
         self._emit_ready()
+        result.release()  # ingested (copied): release any shm segment
         return GO_ON
 
     def _demote(self) -> None:
@@ -388,6 +393,7 @@ class ScalarTrajectoryAligner(Node):
                     f"{grid_index} twice")
             column[result.task_id] = values
             self._times[grid_index] = time
+        result.release()  # rows are materialised copies by now
         self.max_buffered = max(self.max_buffered, len(self._pending))
         self._emit_ready()
         return GO_ON

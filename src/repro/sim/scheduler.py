@@ -31,6 +31,7 @@ class TaskGenerator(SourceNode):
                  n_simulations: int, t_end: float, quantum: float,
                  sample_every: float, seed: Optional[int] = 0,
                  engine: str = "auto", batch_size: int = 64,
+                 engine_kernel: str = "numpy",
                  name: str = "task-gen"):
         super().__init__(name=name)
         if n_simulations < 1:
@@ -43,12 +44,14 @@ class TaskGenerator(SourceNode):
         self.seed = seed
         self.engine = engine
         self.batch_size = batch_size
+        self.engine_kernel = engine_kernel
 
     def generate(self) -> Iterable[SimulationTask]:
         return iter(make_tasks(self.model, self.n_simulations, self.t_end,
                                self.quantum, self.sample_every,
                                seed=self.seed, engine=self.engine,
-                               batch_size=self.batch_size))
+                               batch_size=self.batch_size,
+                               engine_kernel=self.engine_kernel))
 
 
 class SimTaskEmitter(MasterWorkerEmitter):

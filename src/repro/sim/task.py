@@ -47,7 +47,23 @@ class QuantumResult:
 
     Whichever form was not supplied is materialised lazily on first
     access, so downstream code can use either view.
+
+    Results pickle in whichever form they currently hold: an array-form
+    result ships ``grid_start`` + the two arrays (as out-of-band buffers
+    under pickle protocol 5) without ever materialising the per-sample
+    Python tuples, and a lazily materialised view is dropped rather than
+    shipped twice.
+
+    ``attach_segment`` / ``release`` tie a result to a shared-memory
+    segment when its arrays are views over shared pages (the processes
+    backend's result ring): the consumer calls :meth:`release` once the
+    samples have been ingested, and the segment unlinks when its last
+    result releases.
     """
+
+    __slots__ = ("task_id", "time", "steps", "done", "grid_start",
+                 "_samples", "_grid_indices", "_times", "_values", "_n",
+                 "_segment")
 
     def __init__(self, task_id: int,
                  samples: Optional[list[tuple[int, float,
@@ -62,6 +78,7 @@ class QuantumResult:
         #: SSA steps executed so far (for cost accounting)
         self.steps = steps
         self.done = done
+        self._segment = None  # shared-memory segment backing the arrays
         if samples is not None:
             self._samples: Optional[list] = samples
             self._grid_indices: Optional[np.ndarray] = None
@@ -117,6 +134,59 @@ class QuantumResult:
 
     def __len__(self) -> int:
         return self._n
+
+    # -- shared-memory lifecycle ----------------------------------------
+    def attach_segment(self, segment) -> None:
+        """Declare that this result's arrays are views into ``segment``
+        (anything with a ``release()`` method, usually a
+        :class:`repro.distributed.shm.Segment`)."""
+        self._segment = segment
+
+    def release(self) -> None:
+        """Release the shared-memory segment backing the arrays (no-op
+        for ordinary results).  Consumers call it once the samples are
+        ingested.  The array attributes are severed *before* the segment
+        reference is given back: the last release unmaps the pages, so a
+        stale read through this result must fail loudly (``None``)
+        rather than touch unmapped memory."""
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            if self._samples is None:
+                self._n = 0
+            self._times = None
+            self._values = None
+            self._grid_indices = None
+            segment.release()
+
+    # -- pickling (lazy: ship the form we hold, never materialise) ------
+    def __getstate__(self):
+        if self._samples is None:
+            # columnar form: two arrays + scalars, shipped without ever
+            # building per-sample tuples.  Shared-memory views pickle by
+            # value.
+            return (self.task_id, self.time, self.steps, self.done,
+                    self.grid_start, None, self._times, self._values)
+        # row form is authoritative; a lazily derived columnar view is
+        # redundant (rebuilt on demand) -- drop it instead of doubling
+        # the payload
+        return (self.task_id, self.time, self.steps, self.done,
+                self.grid_start, self._samples, None, None)
+
+    def __setstate__(self, state):
+        (self.task_id, self.time, self.steps, self.done,
+         self.grid_start, samples, times, values) = state
+        self._segment = None
+        self._grid_indices = None
+        if samples is not None:
+            self._samples = samples
+            self._times = None
+            self._values = None
+            self._n = len(samples)
+        else:
+            self._samples = None
+            self._times = times
+            self._values = values
+            self._n = len(times)
 
     def __repr__(self) -> str:
         return (f"<QuantumResult task={self.task_id} n={self._n} "
@@ -298,7 +368,8 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
                t_end: float, quantum: float, sample_every: float,
                seed: Optional[int] = 0,
                engine: str = "auto",
-               batch_size: int = 64) -> list[SimulationTask]:
+               batch_size: int = 64,
+               engine_kernel: str = "numpy") -> list[SimulationTask]:
     """Create tasks covering ``n_simulations`` trajectories of ``model``.
 
     ``engine`` selects the simulator: ``"flat"`` (plain Gillespie; requires
@@ -308,11 +379,15 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
     :class:`BatchSimulationTask` blocks of ``batch_size``).  Seeds are
     derived as ``seed + task_id`` (per block for ``"batch"``) so runs are
     reproducible and trajectories independent.
+
+    ``engine_kernel`` picks the batch engine's inner loop
+    (:mod:`repro.cwc.kernels`); the scalar engines ignore it.
     """
     if engine == "batch":
         return make_batch_tasks(model, n_simulations, t_end, quantum,
                                 sample_every, seed=seed,
-                                batch_size=batch_size)
+                                batch_size=batch_size,
+                                engine_kernel=engine_kernel)
     tasks = []
     for task_id in range(n_simulations):
         task_seed = None if seed is None else seed + task_id
@@ -325,12 +400,17 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
 def make_batch_tasks(model: Union[Model, ReactionNetwork],
                      n_simulations: int, t_end: float, quantum: float,
                      sample_every: float, seed: Optional[int] = 0,
-                     batch_size: int = 64) -> list[BatchSimulationTask]:
+                     batch_size: int = 64,
+                     engine_kernel: str = "numpy"
+                     ) -> list[BatchSimulationTask]:
     """Group ``n_simulations`` trajectories into lockstep batch tasks.
 
     The network is compiled once and shared by every block (the compiled
     matrices are immutable); each block draws from its own generator seeded
-    ``seed + first_task_id`` for reproducibility.
+    ``seed + first_task_id`` for reproducibility.  ``engine_kernel``
+    selects the inner-loop kernel (:mod:`repro.cwc.kernels`); seeds and
+    draw order are kernel-independent, so ``"numba"`` reproduces the
+    ``"numpy"`` trajectories bit for bit.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -343,7 +423,8 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
     for base in range(0, n_simulations, batch_size):
         ids = range(base, min(base + batch_size, n_simulations))
         block_seed = None if seed is None else seed + base
-        batch = BatchFlatSimulator(compiled, len(ids), seed=block_seed)
+        batch = BatchFlatSimulator(compiled, len(ids), seed=block_seed,
+                                   kernel=engine_kernel)
         tasks.append(BatchSimulationTask(ids, batch, t_end, quantum,
                                          sample_every))
     return tasks

@@ -103,9 +103,14 @@ class Cut:
         return (f"<Cut #{self.grid_index} t={self.time:g} "
                 f"n={self.n_trajectories}>")
 
-    # __slots__ classes need explicit pickle support
+    # __slots__ classes need explicit pickle support.  Only one view is
+    # shipped (the array when it exists, else the tuple list): the other
+    # is derived lazily on the receiving side, so a cut that holds both
+    # never pays for its payload twice.
     def __getstate__(self):
-        return (self.grid_index, self.time, self._data, self._values)
+        if self._data is not None:
+            return (self.grid_index, self.time, self._data, None)
+        return (self.grid_index, self.time, None, self._values)
 
     def __setstate__(self, state):
         self.grid_index, self.time, self._data, self._values = state

@@ -1,0 +1,187 @@
+"""Shared-memory result ring: segment lifecycle, leak handling, and
+equivalence of the zero-copy processes backend.
+
+The lifecycle invariants under test: a segment created by a worker is
+unlinked exactly when its last consumer releases; results the engine
+drops and results the aligner ingests both count as consumers; a worker
+dying mid-publish leaves an orphan that leak detection sees and the
+run-end sweep reclaims; and none of this changes a single sample value.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.distributed.procfarm import run_workflow_multiprocess
+from repro.distributed.shm import (
+    SEGMENT_PREFIX,
+    SHM_MIN_BYTES,
+    ShmEntry,
+    leaked_segments,
+    make_prefix,
+    map_results,
+    publish_results,
+    sweep_orphans,
+)
+from repro.pipeline import WorkflowConfig, run_workflow
+from repro.sim.task import QuantumResult
+
+
+def columnar_result(task_id=0, n=128, n_obs=4, grid_start=0, done=False):
+    times = np.arange(n, dtype=float) * 0.5
+    values = (np.arange(n * n_obs, dtype=float).reshape(n, n_obs)
+              + 1000 * task_id)
+    return QuantumResult(task_id, None, time=float(n) * 0.5, steps=17,
+                         done=done, grid_start=grid_start,
+                         times=times, values=values)
+
+
+@pytest.fixture
+def prefix():
+    p = make_prefix()
+    yield p
+    sweep_orphans(p)  # never leak past a failing test
+
+
+class TestPublishMap:
+    def test_roundtrip_preserves_samples(self, prefix):
+        originals = [columnar_result(task_id=i) for i in range(3)]
+        block = publish_results(originals, prefix)
+        assert block.name is not None
+        assert block.payload_nbytes >= sum(r._values.nbytes for r in originals)
+        mapped = map_results(block)
+        assert len(mapped) == 3
+        for orig, clone in zip(originals, mapped):
+            assert clone.task_id == orig.task_id
+            assert clone.grid_start == orig.grid_start
+            assert clone.steps == orig.steps
+            assert np.array_equal(clone._times, orig._times)
+            assert np.array_equal(clone._values, orig._values)
+        for clone in mapped:
+            clone.release()
+
+    def test_small_payload_stays_inline(self, prefix):
+        small = [columnar_result(n=4, n_obs=2)]
+        assert small[0]._values.nbytes < SHM_MIN_BYTES
+        block = publish_results(small, prefix)
+        assert block.name is None
+        assert block.entries[0] is small[0]
+        assert leaked_segments(prefix) == []
+
+    def test_row_form_and_empty_results_ride_inline(self, prefix):
+        rows = QuantumResult(1, [(0, 0.0, (1.0,))], time=1.0, steps=2)
+        empty = QuantumResult(2, [], time=1.0, steps=0, done=True)
+        big = columnar_result(task_id=0, n=256, n_obs=4)
+        block = publish_results([rows, big, empty], prefix)
+        assert block.name is not None
+        assert block.entries[0] is rows
+        assert isinstance(block.entries[1], ShmEntry)
+        assert block.entries[2] is empty
+        mapped = map_results(block)
+        assert mapped[0] is rows and mapped[2] is empty
+        assert np.array_equal(mapped[1]._values, big._values)
+        mapped[1].release()
+
+
+class TestSegmentLifecycle:
+    def test_unlinked_after_last_release(self, prefix):
+        block = publish_results(
+            [columnar_result(task_id=i) for i in range(2)], prefix)
+        mapped = map_results(block)
+        segment = mapped[0]._segment
+        assert segment is mapped[1]._segment  # one segment per quantum
+        assert segment.refs == 2
+        assert leaked_segments(prefix) == [block.name]
+        mapped[0].release()
+        assert leaked_segments(prefix) == [block.name]  # one consumer left
+        mapped[1].release()
+        assert leaked_segments(prefix) == []
+
+    def test_release_severs_arrays(self, prefix):
+        """After release the pages may be unmapped: the result must fail
+        a stale read loudly instead of touching dead memory."""
+        block = publish_results([columnar_result()], prefix)
+        result = map_results(block)[0]
+        ingested = result._values.copy()
+        result.release()
+        assert result._values is None and result._times is None
+        assert len(result) == 0
+        assert ingested.shape == (128, 4)
+
+    def test_double_release_is_single_decrement(self, prefix):
+        block = publish_results(
+            [columnar_result(task_id=i) for i in range(2)], prefix)
+        mapped = map_results(block)
+        mapped[0].release()
+        mapped[0].release()  # idempotent: must not steal 1's reference
+        assert leaked_segments(prefix) == [block.name]
+        mapped[1].release()
+        assert leaked_segments(prefix) == []
+
+    def test_sweep_reclaims_unmapped_segment(self, prefix):
+        block = publish_results([columnar_result()], prefix)
+        assert leaked_segments(prefix) == [block.name]
+        assert sweep_orphans(prefix) == [block.name]
+        assert leaked_segments(prefix) == []
+
+    def test_sweep_ignores_other_runs(self, prefix):
+        other = make_prefix()
+        block = publish_results([columnar_result()], other)
+        try:
+            assert sweep_orphans(prefix) == []
+            assert leaked_segments(other) == [block.name]
+        finally:
+            sweep_orphans(other)
+
+
+def _publish_then_die(prefix):
+    """Pool-worker chaos: create the segment, then die before the
+    descriptor ever reaches the master."""
+    publish_results([columnar_result()], prefix)
+    os._exit(1)
+
+
+class TestWorkerDeath:
+    def test_worker_dying_mid_publish_leaves_sweepable_orphan(self, prefix):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_publish_then_die, prefix).result()
+        leaked = leaked_segments(prefix)
+        assert len(leaked) == 1  # nobody will ever release it...
+        assert sweep_orphans(prefix) == leaked  # ...except the sweep
+        assert leaked_segments(prefix) == []
+
+
+def _shm_config(**overrides):
+    base = dict(n_simulations=32, t_end=5.0, sample_every=0.25,
+                quantum=2.5, n_sim_workers=2, window_size=5, seed=0,
+                engine="batch", batch_size=32, keep_cuts=True)
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+class TestProcessesBackendZeroCopy:
+    def test_bit_identical_to_plain_pickling(self, neurospora_small):
+        plain = run_workflow_multiprocess(
+            neurospora_small, _shm_config(zero_copy=False))
+        shared = run_workflow_multiprocess(
+            neurospora_small, _shm_config(zero_copy=True))
+        for a, b in zip(plain.cuts, shared.cuts):
+            assert a == b
+        assert [(s.grid_index, s.mean) for s in plain.cut_statistics()] \
+            == [(s.grid_index, s.mean) for s in shared.cut_statistics()]
+
+    def test_shm_path_actually_engaged(self, neurospora_small):
+        result = run_workflow(neurospora_small,
+                              _shm_config(backend="processes", trace=True))
+        counters = result.trace_report.counters
+        assert counters.get("proc.shm_blocks", 0) >= 1
+        assert counters.get("proc.shm_bytes", 0) > 0
+
+    def test_run_leaves_no_segments_behind(self, neurospora_small):
+        run_workflow_multiprocess(neurospora_small, _shm_config())
+        mine = f"{SEGMENT_PREFIX}-{os.getpid()}"
+        assert leaked_segments(mine) == []

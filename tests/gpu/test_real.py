@@ -1,0 +1,50 @@
+"""The real-GPU bridge: import-safe everywhere, live only with CuPy."""
+
+import numpy as np
+import pytest
+
+from repro.cwc.kernels import KernelUnavailable
+from repro.gpu import RealGpuDevice, gpu_batch_simulator, real_gpu_available
+
+needs_gpu = pytest.mark.skipif(not real_gpu_available(),
+                               reason="cupy not installed or no device")
+
+
+class TestWithoutDevice:
+    def test_probe_is_bool(self):
+        assert real_gpu_available() in (True, False)
+
+    def test_device_raises_kernel_unavailable(self):
+        if real_gpu_available():
+            pytest.skip("a real device is present")
+        with pytest.raises(KernelUnavailable, match="cupy"):
+            RealGpuDevice()
+
+    def test_simulator_raises_kernel_unavailable(self, neurospora_small):
+        if real_gpu_available():
+            pytest.skip("a real device is present")
+        with pytest.raises(KernelUnavailable):
+            gpu_batch_simulator(neurospora_small, 8, seed=0)
+
+
+@needs_gpu
+class TestWithDevice:
+    def test_batched_launch_runs_a_quantum(self, neurospora_small):
+        from repro.sim.task import BatchSimulationTask
+        device = RealGpuDevice()
+        sim = gpu_batch_simulator(neurospora_small, 32, seed=0)
+        task = BatchSimulationTask(range(32), sim, t_end=5.0,
+                                   quantum=2.5, sample_every=0.5)
+        results, stats = device.launch_map_batched(
+            lambda t: t.run_quantum(), task,
+            lambda t, _r: t.steps_by_trajectory)
+        assert len(results) == 32
+        assert stats.n_items == 32
+        assert stats.duration > 0
+        assert device.kernels_launched == 1
+
+    def test_gpu_trajectories_statistically_sane(self, neurospora_small):
+        sim = gpu_batch_simulator(neurospora_small, 16, seed=1)
+        sim.advance_to(np.full(16, 5.0))
+        assert (sim.times >= 5.0 - 1e-9).all()
+        assert (sim.counts >= 0).all()
