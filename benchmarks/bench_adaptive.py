@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Convergence-stop saving: adaptive vs fixed-horizon dispatched quanta.
+
+The adaptive tentpole's acceptance axis: on a high-trajectory Neurospora
+run, the convergence-stop policy must dispatch at least 30% fewer
+simulation quanta than a fixed-horizon run of equal trajectory count,
+while the final pooled window statistics stay inside the configured
+confidence-interval threshold.  Both runs use the same seeds, so the
+adaptive run's trajectories are bit-identical prefixes of the fixed
+run's -- the saving is pure scheduling, not different physics.
+
+For each backend the benchmark runs the workflow twice:
+
+* **fixed** -- no adaptive policy; every trajectory runs to ``t_end``
+  (``sim.quanta_dispatched`` is the denominator);
+* **adaptive** -- a :class:`ConvergenceStopPolicy` pools per-cut
+  ensemble moments as windows stream out of the analysis farm and
+  retires the run at the first window where every species' CI
+  half-width is below the threshold; queued quanta are cancelled,
+  in-flight ones retire at their next quantum boundary.
+
+Reported per backend: dispatched quanta for both runs, the relative
+saving, the stop window, and the per-species pooled relative CI
+half-widths of the adaptive run (all must be <= the threshold).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py \
+        [--simulations 32] [--t-end 150] [--ci 0.05] [--min-windows 6] \
+        [--backends processes,cluster] [--json BENCH_adaptive.json] \
+        [--assert-savings 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.models import neurospora_network
+from repro.pipeline.adaptive import make_adaptive_controller
+from repro.pipeline.builder import run_workflow
+from repro.pipeline.config import WorkflowConfig
+
+
+def run_pair(model, base: dict, backend: str, threshold: float,
+             min_windows: int) -> dict:
+    """One fixed-horizon + one adaptive run on ``backend``."""
+    fixed_cfg = WorkflowConfig(**base, backend=backend, trace=True)
+    started = time.perf_counter()
+    fixed = run_workflow(model, fixed_cfg)
+    fixed_s = time.perf_counter() - started
+    fixed_quanta = fixed.trace_report.counters["sim.quanta_dispatched"]
+
+    adaptive_cfg = WorkflowConfig(**base, backend=backend, trace=True,
+                                  adaptive_ci=threshold,
+                                  adaptive_min_windows=min_windows)
+    controller = make_adaptive_controller(adaptive_cfg)
+    started = time.perf_counter()
+    adaptive = run_workflow(model, adaptive_cfg, controller=controller)
+    adaptive_s = time.perf_counter() - started
+    counters = adaptive.trace_report.counters
+    adaptive_quanta = counters["sim.quanta_dispatched"]
+
+    policy = controller.policies[0]
+    if controller.stop_window is None:
+        raise SystemExit(
+            f"{backend}: the convergence stop never fired -- loosen "
+            f"--ci or extend --t-end")
+    if not policy.converged():
+        raise SystemExit(f"{backend}: stop fired but the pooled "
+                         f"statistics report unconverged")
+    half_widths = {}
+    for species, acc in sorted(policy.pooled.items()):
+        hw = policy.half_widths()[species]
+        rel = hw / max(abs(acc.mean), policy.mean_floor)
+        half_widths[species] = {"mean": acc.mean, "half_width": hw,
+                                "relative": rel, "n_pooled": acc.n}
+        if rel > threshold:
+            raise SystemExit(
+                f"{backend}: species {species} relative half-width "
+                f"{rel:.4f} exceeds the threshold {threshold}")
+
+    return {
+        "backend": backend,
+        "fixed_quanta": fixed_quanta,
+        "adaptive_quanta": adaptive_quanta,
+        "savings": 1.0 - adaptive_quanta / fixed_quanta,
+        "stop_window": controller.stop_window,
+        "stop_reason": controller.stop_reason,
+        "windows_fixed": fixed.n_windows,
+        "windows_adaptive": adaptive.n_windows,
+        "tasks_retired": counters.get("sim.tasks_retired", 0),
+        "adapt_stops": counters.get("adapt.stops", 0),
+        "fixed_wall_s": fixed_s,
+        "adaptive_wall_s": adaptive_s,
+        "pooled_ci": half_widths,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--simulations", type=int, default=32)
+    parser.add_argument("--t-end", type=float, default=150.0)
+    parser.add_argument("--quantum", type=float, default=2.0)
+    parser.add_argument("--sample-every", type=float, default=0.5)
+    parser.add_argument("--window", type=int, default=20)
+    parser.add_argument("--omega", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--sim-workers", type=int, default=4)
+    parser.add_argument("--ci", type=float, default=0.05,
+                        help="relative CI half-width threshold")
+    parser.add_argument("--min-windows", type=int, default=6)
+    parser.add_argument("--backends", default="processes,cluster",
+                        help="comma-separated backend list")
+    parser.add_argument("--json", default="BENCH_adaptive.json")
+    parser.add_argument("--assert-savings", type=float, default=None,
+                        help="fail unless every backend saves at least "
+                             "this fraction of dispatched quanta")
+    args = parser.parse_args(argv)
+
+    model = neurospora_network(omega=args.omega)
+    base = dict(n_simulations=args.simulations, t_end=args.t_end,
+                quantum=args.quantum, sample_every=args.sample_every,
+                window_size=args.window, seed=args.seed,
+                n_sim_workers=args.sim_workers)
+
+    runs = []
+    for backend in args.backends.split(","):
+        backend = backend.strip()
+        result = run_pair(model, base, backend, args.ci, args.min_windows)
+        runs.append(result)
+        worst = max(v["relative"] for v in result["pooled_ci"].values())
+        print(f"{backend:10s} fixed {result['fixed_quanta']:6.0f} quanta "
+              f"-> adaptive {result['adaptive_quanta']:6.0f} "
+              f"({result['savings'] * 100:.1f}% saved, stop at window "
+              f"{result['stop_window']}, worst relative CI {worst:.4f} "
+              f"<= {args.ci})")
+
+    report = {
+        "simulations": args.simulations,
+        "t_end": args.t_end,
+        "quantum": args.quantum,
+        "ci_threshold": args.ci,
+        "min_windows": args.min_windows,
+        "seed": args.seed,
+        "runs": runs,
+    }
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.json}")
+
+    if args.assert_savings is not None:
+        failed = False
+        for result in runs:
+            if result["savings"] < args.assert_savings:
+                print(f"FAIL: {result['backend']} saved only "
+                      f"{result['savings'] * 100:.1f}% < "
+                      f"{args.assert_savings * 100:.0f}%", file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

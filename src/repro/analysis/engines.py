@@ -13,11 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import math
+
+import numpy as np
+
 from repro.analysis.filters import moving_average
 from repro.analysis.histogram import Histogram, histogram
 from repro.analysis.kmeans import KMeansResult, kmeans, kmeans_array
-from repro.analysis.stats import (CutStatistics, block_statistics,
-                                  cut_statistics)
+from repro.analysis.stats import (CutStatistics, OnlineStats,
+                                  block_statistics, ci_half_width,
+                                  cut_statistics, sample_variance)
 from repro.analysis.windows import Window
 from repro.ff.node import Node
 
@@ -39,12 +44,31 @@ class WindowStatistics:
     #: per-observable population histogram at the window's last cut,
     #: when histogramming is enabled
     histograms: dict[int, Histogram] = field(default_factory=dict)
+    #: per-observable half-width of the ``ci_confidence`` confidence
+    #: interval on the ensemble mean over this window.  Each trajectory
+    #: contributes its window-average as one independent sample (cuts
+    #: *within* a trajectory are autocorrelated, trajectories are not),
+    #: so the half-width is ``z * sqrt(var_across_trajectories / n)`` --
+    #: the signal the adaptive convergence-stop policy consumes.  0 for
+    #: a single-trajectory fleet, per the Welford variance convention.
+    ci_half_width: tuple[float, ...] = ()
+    #: per-observable ensemble mean of the per-trajectory window
+    #: averages (the point estimate ``ci_half_width`` brackets)
+    window_mean: tuple[float, ...] = ()
+    ci_confidence: float = 0.95
 
     def mean_series(self, observable: int) -> list[float]:
         return [c.mean[observable] for c in self.cuts]
 
     def time_series(self) -> list[float]:
         return [c.time for c in self.cuts]
+
+    def ci_relative(self, observable: int, floor: float = 1e-12) -> float:
+        """``ci_half_width`` over ``|window_mean|`` for one observable
+        (NaN-free: means below ``floor`` in magnitude use the floor)."""
+        hw = self.ci_half_width[observable]
+        mean = self.window_mean[observable]
+        return hw / max(abs(mean), floor)
 
 
 class StatEngineNode(Node):
@@ -66,6 +90,7 @@ class StatEngineNode(Node):
                  histogram_bins: Optional[int] = None,
                  kmeans_seed: int = 0,
                  vectorized: bool = True,
+                 confidence: float = 0.95,
                  name: str = "stat-eng"):
         super().__init__(name=name)
         if kmeans_k is not None and kmeans_k < 1:
@@ -73,11 +98,15 @@ class StatEngineNode(Node):
         if histogram_bins is not None and histogram_bins < 1:
             raise ValueError(
                 f"histogram_bins must be >= 1, got {histogram_bins}")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {confidence}")
         self.kmeans_k = kmeans_k
         self.filter_width = filter_width
         self.histogram_bins = histogram_bins
         self.kmeans_seed = kmeans_seed
         self.vectorized = vectorized
+        self.confidence = confidence
         self.windows_processed = 0
 
     def svc_init(self) -> None:
@@ -94,13 +123,46 @@ class StatEngineNode(Node):
             return [cut_statistics(cut) for cut in window.cuts]
         return block_statistics(window.grid_indices, window.times, data)
 
+    def _window_ci(self, window: Window
+                   ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """``(window_mean, ci_half_width)`` per observable; see the
+        :class:`WindowStatistics` field docs for the estimator."""
+        data = getattr(window, "data", None)
+        if self.vectorized and data is not None:
+            traj_means = data.mean(axis=0)        # (n_traj, n_obs)
+            n_traj = traj_means.shape[0]
+            variances = sample_variance(traj_means, axis=0)
+            means = traj_means.mean(axis=0)
+            return (tuple(means.tolist()),
+                    tuple(ci_half_width(float(v), n_traj, self.confidence)
+                          for v in variances.tolist()))
+        cuts = window.cuts
+        if not cuts or not cuts[0].values:
+            return (), ()
+        n_traj = len(cuts[0].values)
+        n_obs = len(cuts[0].values[0])
+        means, half_widths = [], []
+        for obs in range(n_obs):
+            acc = OnlineStats()
+            for traj in range(n_traj):
+                acc.push(math.fsum(cut.values[traj][obs] for cut in cuts)
+                         / len(cuts))
+            means.append(acc.mean)
+            half_widths.append(
+                ci_half_width(acc.variance, acc.n, self.confidence))
+        return tuple(means), tuple(half_widths)
+
     def svc(self, window: Window) -> WindowStatistics:
         stats = self._window_stats(window)
+        window_mean, half_width = self._window_ci(window)
         result = WindowStatistics(
             window_index=window.index,
             start_time=window.start_time,
             end_time=window.end_time,
-            cuts=stats)
+            cuts=stats,
+            ci_half_width=half_width,
+            window_mean=window_mean,
+            ci_confidence=self.confidence)
         n_observables = len(stats[0].mean) if stats else 0
         if self.kmeans_k is not None and stats:
             for obs in range(n_observables):

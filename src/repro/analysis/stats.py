@@ -65,6 +65,27 @@ class OnlineStats:
         v = self.variance
         return math.sqrt(v) if v == v else math.nan
 
+    @classmethod
+    def from_moments(cls, n: int, mean: float, variance: float,
+                     minimum: float = math.inf,
+                     maximum: float = -math.inf) -> "OnlineStats":
+        """Rebuild an accumulator from summary moments (``variance`` is
+        the n-1 sample variance, matching :attr:`variance`), so per-cut
+        summaries can be pooled with :meth:`merge` without replaying the
+        raw samples -- what the adaptive convergence policy does with the
+        :class:`CutStatistics` stream."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        acc = cls()
+        if n == 0:
+            return acc
+        acc.n = n
+        acc._mean = mean
+        acc._m2 = variance * (n - 1) if n > 1 else 0.0
+        acc.min = minimum
+        acc.max = maximum
+        return acc
+
     def merge(self, other: "OnlineStats") -> "OnlineStats":
         """Combine two accumulators (parallel-reduction friendly)."""
         if other.n == 0:
@@ -83,6 +104,69 @@ class OnlineStats:
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
         return self
+
+
+def sample_variance(data: np.ndarray, axis: int) -> np.ndarray:
+    """Sample variance (n-1 denominator) along ``axis``, with the scalar
+    :class:`OnlineStats` convention for degenerate fleets: **0 for a
+    single value** (``ddof=1`` alone would divide by zero and yield NaN,
+    which the adaptive confidence-interval math then divides by).  Every
+    vectorised variance in the analysis plane goes through this guard."""
+    data = np.asarray(data, dtype=float)
+    if data.shape[axis] <= 1:
+        return np.zeros(data.mean(axis=axis).shape)
+    return data.var(axis=axis, ddof=1)
+
+
+def normal_ppf(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation,
+    |error| < 1.2e-9): the z-score behind a confidence level, computed
+    without a scipy dependency."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    # coefficients of Peter Acklam's approximation
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                 * q + c[5])
+                / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                  * q + c[5])
+                 / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+            * r + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3])
+                                * r + b[4]) * r + 1)
+
+
+def ci_half_width(variance: float, n: int, confidence: float = 0.95) -> float:
+    """Half-width of the normal-approximation confidence interval on a
+    mean estimated from ``n`` samples of the given sample variance:
+    ``z * sqrt(variance / n)``.  NaN when there are no samples (no
+    estimate exists); 0 for a single sample, consistently with
+    :func:`sample_variance` / :attr:`OnlineStats.variance`."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}")
+    if n == 0:
+        return math.nan
+    z = normal_ppf(0.5 + confidence / 2.0)
+    return z * math.sqrt(variance / n)
 
 
 def quantile(sorted_values: Sequence[float], q: float) -> float:
@@ -153,10 +237,9 @@ def block_statistics(grid_indices: np.ndarray, times: np.ndarray,
             n_trajectories=0, mean=(), variance=(), minimum=(),
             maximum=(), median=()) for i in range(n_cuts)]
     means = data.mean(axis=1)
-    if n_traj > 1:
-        variances = data.var(axis=1, ddof=1)
-    else:
-        variances = np.zeros_like(means)
+    # the n==1 guard lives in sample_variance: a single-trajectory fleet
+    # must report variance 0 (the Welford convention), not NaN
+    variances = sample_variance(data, axis=1)
     minima = data.min(axis=1)
     maxima = data.max(axis=1)
     medians = np.quantile(data, 0.5, axis=1)

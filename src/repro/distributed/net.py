@@ -233,8 +233,14 @@ class ClusterMaster:
         self.reassignments = 0
         self.workers_failed = 0
         self.stale_results = 0
+        self.tasks_completed_full = 0
+        self.tasks_retired = 0
         self.inflight_wait_s = 0.0
         self.wall_time = 0.0
+        #: current backlog priority key (None -> arrival order); set via
+        #: :meth:`repriority` from the analysis thread, applied by
+        #: :meth:`_dispatch` on the master thread
+        self._priority_key: Optional[Callable[[Any], float]] = None
 
         self._inbox: "queue.Queue[tuple[str, int, Any]]" = queue.Queue()
         self._procs: dict[int, Any] = {}
@@ -391,9 +397,24 @@ class ClusterMaster:
                 self._inbox.put(("msg", handle.worker_id, msg))
 
     # -- scheduling ------------------------------------------------------
+    def repriority(self, key: Optional[Callable[[Any], float]]) -> int:
+        """Re-key the ready backlog (ascending; ``None`` restores arrival
+        order) -- the cluster side of the adaptive re-prioritisation hook.
+        Safe to call from any thread: the key is applied by the master
+        thread at the next :meth:`_dispatch`.  Returns the number of
+        queued tasks subject to the re-ordering."""
+        self._priority_key = key
+        return len(self.ready)
+
     def _dispatch(self) -> None:
         """Send ready tasks to their pinned (or newly pinned) workers, up
-        to each worker's in-flight window."""
+        to each worker's in-flight window.  When an adaptive priority key
+        is installed, the backlog drains in key order (laggards first for
+        the default lag key): queued low-priority tasks simply starve
+        behind the window bound until re-keyed work has been sent."""
+        key = self._priority_key
+        if key is not None and len(self.ready) > 1:
+            self.ready = deque(sorted(self.ready, key=key))
         while True:
             sent_any = False
             backlog, self.ready = self.ready, deque()
@@ -471,6 +492,10 @@ class ClusterMaster:
         if task.done or self._stopping:
             self.completed += 1
             self.assignment.pop(key, None)
+            if task.done:
+                self.tasks_completed_full += 1
+            else:
+                self.tasks_retired += 1  # steering retired it mid-horizon
         else:
             self.ready.append(task)
         for result in msg.results:
@@ -485,6 +510,7 @@ class ClusterMaster:
             # retire everything waiting for a worker slot; in-flight
             # tasks are retired as their current quantum returns
             self.completed += len(self.ready)
+            self.tasks_retired += len(self.ready)
             self.ready.clear()
 
     # -- failure handling ------------------------------------------------
@@ -556,6 +582,12 @@ class ClusterMaster:
             "net.workers_failed": self.workers_failed,
             "net.stale_results": self.stale_results,
             "net.inflight_wait_s": self.inflight_wait_s,
+            # uniform scheduler counters (same names as the shared-memory
+            # emitter, one task message == one quantum) so run reports and
+            # the adaptive benchmark read a single vocabulary
+            "sim.quanta_dispatched": self.tasks_dispatched,
+            "sim.tasks_completed": self.tasks_completed_full,
+            "sim.tasks_retired": self.tasks_retired,
         }
         totals = {"bytes_out": 0, "bytes_in": 0,
                   "messages_out": 0, "messages_in": 0,
@@ -660,6 +692,8 @@ def run_workflow_cluster(model, config, controller=None, tracer=None,
         stop_requested=stop_requested,
         fault_hook=fault_hook,
         zero_copy=config.zero_copy)
+    if controller is not None:
+        controller.attach_scheduler(master)
     cut_store: Optional[list] = [] if config.keep_cuts else None
     stages: list = [ClusterSourceNode(master), make_aligner(config)]
     stages.extend(analysis_stages(config, cut_store=cut_store,

@@ -112,6 +112,13 @@ def run_workflow_multiprocess(model: Union[Model, ReactionNetwork],
     through the shared-memory result ring instead of the future pipe;
     any segment leaked by a worker dying mid-publish is swept when the
     run ends.  Results are bit-identical either way.
+
+    Adaptive scheduling comes for free: the farm is built by
+    :func:`~repro.pipeline.builder.build_workflow`, so the emitter's
+    priority backlog bounds the quanta outstanding on the pool and an
+    attached :class:`~repro.pipeline.adaptive.AdaptiveController` can
+    re-key it mid-run -- the engine processes only ever see the next
+    quantum the backlog releases.
     """
     from repro.ff.executor import run as ff_run
 

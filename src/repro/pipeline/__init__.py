@@ -18,6 +18,14 @@ monitor partial results while the run is in flight and steer/terminate it.
 from repro.pipeline.config import WorkflowConfig
 from repro.pipeline.builder import build_workflow, run_workflow, WorkflowResult
 from repro.pipeline.steering import SteeringController, ProgressEvent
+from repro.pipeline.adaptive import (
+    AdaptiveController,
+    ConvergenceStopPolicy,
+    LaggardRepriorityPolicy,
+    ParameterPoint,
+    make_adaptive_controller,
+    run_adaptive_sweep,
+)
 from repro.pipeline.storage import (
     save_cut_statistics,
     load_cut_statistics,
@@ -33,6 +41,12 @@ __all__ = [
     "WorkflowResult",
     "SteeringController",
     "ProgressEvent",
+    "AdaptiveController",
+    "ConvergenceStopPolicy",
+    "LaggardRepriorityPolicy",
+    "ParameterPoint",
+    "make_adaptive_controller",
+    "run_adaptive_sweep",
     "save_cut_statistics",
     "load_cut_statistics",
     "save_trajectories",

@@ -11,7 +11,7 @@ from repro.analysis.windows import ScalarSlidingWindowNode, SlidingWindowNode
 from repro.cwc.model import Model
 from repro.cwc.network import ReactionNetwork
 from repro.ff.farm import Farm
-from repro.ff.node import Node
+from repro.ff.node import GO_ON, Node
 from repro.ff.pipeline import Pipeline
 from repro.ff.executor import run as ff_run
 from repro.ff.trace import RunReport, Tracer
@@ -40,15 +40,23 @@ class _CutTee(Node):
 
 
 class _ProgressNode(Node):
-    """Feeds the steering controller with every analysed window."""
+    """Feeds the steering controller with every analysed window.
+
+    The controller's ``_notify`` may veto a window (an adaptive stop
+    suppresses everything past its decision window so every backend
+    reports the same truncated set); vetoed windows are dropped here.
+    Counters the controller's policies produced (``adapt.*``) are flushed
+    into the run report on the way through."""
 
     def __init__(self, controller: SteeringController, name: str = "progress"):
         super().__init__(name=name)
         self.controller = controller
 
-    def svc(self, stats: WindowStatistics) -> WindowStatistics:
-        self.controller._notify(stats)
-        return stats
+    def svc(self, stats: WindowStatistics):
+        keep = self.controller._notify(stats)
+        for counter, n in self.controller.drain_counters():
+            self.trace_incr(counter, n)
+        return stats if keep else GO_ON
 
 
 @dataclass
@@ -155,9 +163,18 @@ def build_workflow(model: Union[Model, ReactionNetwork],
     stop_requested = (
         (lambda: controller.stop_requested) if controller is not None
         else None)
+    # re-prioritisation needs the emitter to *hold* runnable work: bound
+    # the outstanding quanta to a small multiple of the worker count so
+    # the rest waits in the re-keyable backlog instead of the channels
+    priority_window = (2 * config.n_sim_workers
+                       if config.adaptive_repriority else None)
+    emitter = SimTaskEmitter(stop_requested=stop_requested,
+                             priority_window=priority_window)
+    if controller is not None:
+        controller.attach_scheduler(emitter)
     sim_farm = Farm(
         [engine_factory(i) for i in range(config.n_sim_workers)],
-        emitter=SimTaskEmitter(stop_requested=stop_requested),
+        emitter=emitter,
         collector=make_aligner(config),
         feedback=True,
         scheduling=config.scheduling,
@@ -187,7 +204,11 @@ def run_workflow(model: Union[Model, ReactionNetwork],
     master/worker cluster (``"cluster"``, :mod:`repro.distributed.net`).
     All of them produce bit-identical results for the same seeds.
     """
-    if tracer is None and config.trace:
+    if controller is None and config.adaptive:
+        # lazy import: repro.pipeline.adaptive imports this module back
+        from repro.pipeline.adaptive import make_adaptive_controller
+        controller = make_adaptive_controller(config)
+    if tracer is None and (config.trace or config.adaptive):
         tracer = Tracer()
     if config.backend == "processes":
         from repro.distributed.procfarm import run_workflow_multiprocess

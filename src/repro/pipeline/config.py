@@ -60,6 +60,21 @@ class WorkflowConfig:
     cluster_inflight: int = 2     # bounded in-flight window per worker
     heartbeat_interval: float = 0.5
     heartbeat_timeout: Optional[float] = None  # None -> 10 * interval
+    # -- adaptive feedback loop (repro.pipeline.adaptive) ----------------
+    #: convergence-stop CI threshold: retire the run once every tracked
+    #: species' pooled confidence-interval half-width falls below it
+    #: (None disables the policy)
+    adaptive_ci: Optional[float] = None
+    #: interpret ``adaptive_ci`` relative to the pooled |mean| (default)
+    #: or as an absolute half-width
+    adaptive_relative: bool = True
+    #: analysed windows required before the convergence stop may fire
+    adaptive_min_windows: int = 2
+    #: observable indices the stop policy tracks (None -> all species)
+    adaptive_species: Optional[tuple[int, ...]] = None
+    #: re-key the simulation backlog laggards-first on every analysed
+    #: window (mid-run re-prioritisation through the bounded backlog)
+    adaptive_repriority: bool = False
 
     BACKENDS = ("threads", "sequential", "processes", "cluster")
     ENGINE_KERNELS = ("numpy", "numba", "cupy")
@@ -92,6 +107,15 @@ class WorkflowConfig:
         if self.window_slide is not None and not (
                 1 <= self.window_slide <= self.window_size):
             raise ValueError("window_slide must be in [1, window_size]")
+        if self.adaptive_ci is not None and self.adaptive_ci <= 0:
+            raise ValueError("adaptive_ci must be > 0")
+        if self.adaptive_min_windows < 1:
+            raise ValueError("adaptive_min_windows must be >= 1")
+
+    @property
+    def adaptive(self) -> bool:
+        """True when any adaptive policy is configured."""
+        return self.adaptive_ci is not None or self.adaptive_repriority
 
     @property
     def n_grid_points(self) -> int:

@@ -89,6 +89,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--inflight", type=int, default=2,
                         help="bounded in-flight tasks per cluster worker "
                              "(backpressure window)")
+    parser.add_argument("--adaptive", metavar="SPEC", default=None,
+                        help="convergence-stop policy, e.g. 'ci:0.05' "
+                             "(retire the run once every species' pooled "
+                             "95%% CI half-width is within 5%% of its "
+                             "mean) or 'ci-abs:1.5' (absolute half-width)")
+    parser.add_argument("--adaptive-repriority", action="store_true",
+                        help="re-key the simulation backlog laggards-"
+                             "first on every analysed window (adaptive "
+                             "mid-run re-prioritisation)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-window progress lines")
     parser.add_argument("--trace", action="store_true",
@@ -101,9 +110,33 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def parse_adaptive_spec(spec: str) -> tuple[float, bool]:
+    """``'ci:0.05'`` -> (0.05, relative=True); ``'ci-abs:1.5'`` ->
+    (1.5, relative=False)."""
+    kind, sep, value = spec.partition(":")
+    if not sep or kind not in ("ci", "ci-abs"):
+        raise ValueError(
+            f"bad --adaptive spec {spec!r}; expected 'ci:<threshold>' "
+            f"or 'ci-abs:<threshold>'")
+    try:
+        threshold = float(value)
+    except ValueError:
+        raise ValueError(
+            f"bad --adaptive threshold {value!r}; expected a number")
+    return threshold, kind == "ci"
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     model = _MODELS[args.model](args.omega)
+    adaptive_ci, adaptive_relative = None, True
+    if args.adaptive is not None:
+        try:
+            adaptive_ci, adaptive_relative = parse_adaptive_spec(
+                args.adaptive)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     config = WorkflowConfig(
         n_simulations=args.simulations, t_end=args.t_end,
         sample_every=args.sample_every, quantum=args.quantum,
@@ -116,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
         zero_copy=not args.no_zero_copy,
         backend=args.backend, keep_cuts=True,
         cluster_workers=args.workers, cluster_inflight=args.inflight,
+        adaptive_ci=adaptive_ci, adaptive_relative=adaptive_relative,
+        adaptive_repriority=args.adaptive_repriority,
         trace=args.trace or args.trace_report is not None,
         trace_report_path=args.trace_report)
 
@@ -128,7 +163,12 @@ def main(argv: list[str] | None = None) -> int:
               f"t=[{event.start_time:8.2f}, {event.end_time:8.2f}]  "
               f"mean@end: {means}")
 
-    controller = SteeringController(on_progress=on_progress)
+    if config.adaptive:
+        from repro.pipeline.adaptive import make_adaptive_controller
+        controller = make_adaptive_controller(config,
+                                              on_progress=on_progress)
+    else:
+        controller = SteeringController(on_progress=on_progress)
     started = time.perf_counter()
     try:
         result = run_workflow(model, config, controller=controller)
@@ -148,6 +188,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{len(result.cut_statistics())} cuts, "
           f"{config.n_simulations} trajectories, {elapsed:.2f}s wall-clock")
 
+    stopped_early = getattr(controller, "stop_window", None) is not None
+    if stopped_early:
+        print(f"adaptive stop at window {controller.stop_window}: "
+              f"{controller.stop_reason}")
+
     if result.trace_report is not None:
         print()
         print(result.trace_report.to_text())
@@ -165,7 +210,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"final population histogram [{names[obs]}]: "
                   f"{hist.counts}  modes at ~{peaks}")
 
-    if args.model.startswith("neurospora"):
+    if args.model.startswith("neurospora") and not stopped_early:
+        # an adaptive stop retires trajectories mid-horizon, so the full
+        # trajectories the period estimator wants do not exist
         trajectories = result.trajectories()
         estimate = ensemble_period(
             [(t.times, t.column(0)) for t in trajectories],

@@ -1,0 +1,85 @@
+"""Regression: notify-and-callback must be one atomic step.
+
+Historically ``SteeringController._notify`` bumped ``windows_seen`` under
+the lock but invoked ``on_progress`` after releasing it, and the
+``stop_after`` callback re-read ``controller.windows_seen`` without the
+lock -- under concurrent window notifications (several stat workers) the
+stop could fire one window early or late.  Now the whole sequence runs
+under the controller's reentrant lock and the callback consumes the count
+captured with its own event."""
+
+import threading
+
+from repro.analysis.engines import WindowStatistics
+from repro.pipeline.steering import SteeringController
+
+
+def _stats(index):
+    return WindowStatistics(window_index=index, start_time=float(index),
+                            end_time=index + 1.0, cuts=[])
+
+
+class TestNotifyAtomicity:
+    def test_event_count_is_captured_with_notification(self):
+        controller = SteeringController()
+        seen = []
+        controller._on_progress = lambda event: seen.append(
+            (event.window_index, event.windows_seen))
+        for i in range(5):
+            controller._notify(_stats(i))
+        assert seen == [(i, i + 1) for i in range(5)]
+
+    def test_stop_after_fires_on_exact_window_under_contention(self):
+        """Hammer _notify from many threads; the callback must observe
+        its own notification's count, so the stop decision happens at
+        exactly the n-th window on every repetition."""
+        n_threads, per_thread, stop_at = 8, 40, 100
+        for _ in range(20):
+            controller = SteeringController()
+            count_at_stop = []
+
+            def on_progress(event):
+                if event.windows_seen >= stop_at and not count_at_stop:
+                    count_at_stop.append(event.windows_seen)
+                    controller.stop()
+
+            controller._on_progress = on_progress
+            barrier = threading.Barrier(n_threads)
+
+            def worker(tid):
+                barrier.wait()
+                for i in range(per_thread):
+                    controller._notify(_stats(tid * per_thread + i))
+
+            threads = [threading.Thread(target=worker, args=(t,))
+                       for t in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert controller.stop_requested
+            assert count_at_stop == [stop_at]
+
+    def test_stop_after_helper_observes_event_count(self):
+        controller = SteeringController()
+        controller._on_progress = controller.stop_after(3)
+        stops = []
+        for i in range(5):
+            controller._notify(_stats(i))
+            stops.append(controller.stop_requested)
+        assert stops == [False, False, True, True, True]
+
+    def test_callback_may_reenter_controller(self):
+        """The lock is reentrant: a callback can read controller state
+        (and call stop) without deadlocking."""
+        controller = SteeringController()
+        observed = []
+
+        def on_progress(event):
+            observed.append(controller.windows_seen)  # re-enters the lock
+            controller.stop()
+
+        controller._on_progress = on_progress
+        controller._notify(_stats(0))
+        assert observed == [1]
+        assert controller.stop_requested

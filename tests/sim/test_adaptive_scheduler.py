@@ -1,0 +1,181 @@
+"""SimTaskEmitter's priority backlog: bounded dispatch, re-keying,
+stop-time cancellation and the completed/retired counter split."""
+
+import pytest
+
+from repro.ff.farm import Feedback
+from repro.ff.node import EOS, GO_ON
+from repro.sim.scheduler import SimTaskEmitter
+
+
+class _Outbox:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, item):
+        self.sent.append(item)
+
+    def close(self):
+        pass
+
+
+class _Task:
+    """Stand-in with the scheduling surface of SimulationTask."""
+
+    def __init__(self, task_id, time=0.0, quanta_left=1):
+        self.task_id = task_id
+        self.time = time
+        self.quanta_left = quanta_left
+
+    @property
+    def done(self):
+        return self.quanta_left <= 0
+
+    def advance(self):
+        self.quanta_left -= 1
+        self.time += 1.0
+        return self
+
+    def __repr__(self):
+        return f"_Task({self.task_id}, t={self.time})"
+
+
+def make_emitter(**kwargs):
+    emitter = SimTaskEmitter(**kwargs)
+    emitter._outbox = _Outbox()
+    emitter.svc_init()
+    return emitter
+
+
+class TestPriorityWindow:
+    def test_unbounded_dispatches_immediately(self):
+        emitter = make_emitter()
+        for i in range(5):
+            assert emitter.svc(_Task(i)) is GO_ON
+        assert [t.task_id for t in emitter._outbox.sent] == list(range(5))
+        assert emitter.backlog_size() == 0
+        assert emitter.quanta_dispatched == 5
+
+    def test_bounded_window_holds_surplus_in_backlog(self):
+        emitter = make_emitter(priority_window=2)
+        for i in range(5):
+            emitter.svc(_Task(i))
+        assert len(emitter._outbox.sent) == 2
+        assert emitter.backlog_size() == 3
+        # each feedback completion frees a slot for the next queued task
+        done = emitter._outbox.sent[0].advance()
+        emitter.svc(Feedback(done))
+        assert len(emitter._outbox.sent) == 3
+        assert emitter.backlog_size() == 2
+
+    def test_fifo_order_by_default(self):
+        emitter = make_emitter(priority_window=1)
+        for i in range(4):
+            emitter.svc(_Task(i))
+        order = [emitter._outbox.sent[0].task_id]
+        while emitter.backlog_size():
+            task = emitter._outbox.sent[-1].advance()
+            emitter.svc(Feedback(task))
+            order.append(emitter._outbox.sent[-1].task_id)
+        assert order == [0, 1, 2, 3]
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            SimTaskEmitter(priority_window=0)
+
+
+class TestRepriority:
+    def test_reorders_backlog(self):
+        emitter = make_emitter(priority_window=1)
+        times = [5.0, 1.0, 9.0, 3.0]
+        for i, t in enumerate(times):
+            emitter.svc(_Task(i, time=t, quanta_left=2))
+        assert emitter._outbox.sent[0].time == 5.0  # first in, dispatched
+        moved = emitter.repriority(lambda task: task.time)
+        assert moved > 0
+        # drain: completions release backlog slots in laggards-first order
+        drained = []
+        while emitter.backlog_size():
+            task = emitter._outbox.sent[-1]
+            task.quanta_left = 0
+            emitter.svc(Feedback(task))
+            drained.append(emitter._outbox.sent[-1].time)
+        assert drained == sorted(drained) == [1.0, 3.0, 9.0]
+
+    def test_noop_when_order_unchanged(self):
+        emitter = make_emitter(priority_window=1)
+        for i in range(3):
+            emitter.svc(_Task(i, time=float(i)))
+        assert emitter.repriority(lambda task: task.time) == 0
+
+    def test_empty_backlog_moves_nothing(self):
+        emitter = make_emitter()
+        assert emitter.repriority(lambda task: task.time) == 0
+
+    def test_on_repriority_hook_fires(self):
+        observed = []
+        emitter = make_emitter(priority_window=1,
+                               on_repriority=observed.append)
+        for i, t in enumerate([4.0, 2.0, 8.0]):
+            emitter.svc(_Task(i, time=t))
+        emitter.repriority(lambda task: -task.time)
+        assert observed and observed[0] > 0
+
+
+class TestStopCancellation:
+    def test_stop_cancels_backlog_without_dispatch(self):
+        flag = {"stop": False}
+        emitter = make_emitter(priority_window=1,
+                               stop_requested=lambda: flag["stop"])
+        for i in range(4):
+            emitter.svc(_Task(i, quanta_left=3))
+        assert len(emitter._outbox.sent) == 1
+        assert emitter.backlog_size() == 3
+        flag["stop"] = True
+        # the outstanding task comes back; it and the whole backlog retire
+        out = emitter.svc(Feedback(emitter._outbox.sent[0].advance()))
+        assert emitter.backlog_size() == 0
+        assert len(emitter._outbox.sent) == 1  # no further dispatches
+        assert emitter.tasks_retired == 4
+        assert emitter.tasks_completed == 0
+        assert emitter.quanta_dispatched == 1
+        assert emitter.in_flight == 0
+        assert out is GO_ON  # upstream not done yet
+
+    def test_counters_split_completed_vs_retired(self):
+        flag = {"stop": False}
+        emitter = make_emitter(stop_requested=lambda: flag["stop"])
+        finished = _Task(0, quanta_left=0)
+        emitter.svc(_Task(0, quanta_left=1))
+        emitter.svc(Feedback(finished))
+        assert (emitter.tasks_completed, emitter.tasks_retired) == (1, 0)
+        emitter.svc(_Task(1, quanta_left=5))
+        flag["stop"] = True
+        emitter.svc(Feedback(_Task(1, quanta_left=4)))
+        assert (emitter.tasks_completed, emitter.tasks_retired) == (1, 1)
+
+    def test_eos_when_upstream_done_and_drained(self):
+        flag = {"stop": False}
+        emitter = make_emitter(priority_window=1,
+                               stop_requested=lambda: flag["stop"])
+        for i in range(3):
+            emitter.svc(_Task(i, quanta_left=2))
+        emitter.upstream_done = True
+        flag["stop"] = True
+        out = emitter.svc(Feedback(emitter._outbox.sent[0].advance()))
+        assert out is EOS
+        assert emitter.in_flight == 0
+
+
+class TestSvcInitReset:
+    def test_reset_clears_backlog_and_counters(self):
+        emitter = make_emitter(priority_window=1)
+        for i in range(3):
+            emitter.svc(_Task(i))
+        emitter._outbox = _Outbox()
+        emitter.svc_init()
+        assert emitter.backlog_size() == 0
+        assert emitter.quanta_dispatched == 0
+        assert emitter.tasks_completed == emitter.tasks_retired == 0
+        emitter.svc(_Task(9))
+        assert [t.task_id for t in emitter._outbox.sent] == [9]
