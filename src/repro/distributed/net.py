@@ -123,11 +123,57 @@ class Shutdown:
 
 def _task_key(task: Any) -> Any:
     """Stable identity of a task across pickling (its id, or the id tuple
-    of a :class:`~repro.sim.task.BatchSimulationTask`)."""
+    of a :class:`~repro.sim.task.BatchSimulationTask`); namespaced tasks
+    prefix their run's namespace so two tenants' task 0 never collide on
+    a shared master."""
+    if isinstance(task, NamespacedTask):
+        return (task.namespace, _task_key(task.task))
     key = getattr(task, "task_id", None)
     if key is None:
         key = task.task_ids
     return key
+
+
+class NamespacedTask:
+    """Envelope pinning a task to a run namespace on a *shared* master.
+
+    The service multiplexes many tenant runs over one cluster: their
+    task ids all start at 0, so scheduling state (affinity pins,
+    in-flight windows, result futures) must key on
+    ``(namespace, task_id)``.  The envelope rides the wire whole -- the
+    worker just calls :meth:`run_quantum` and ships the same (advanced)
+    object back -- so the worker loop needs no notion of tenancy.
+    """
+
+    __slots__ = ("namespace", "task")
+
+    def __init__(self, namespace: Any, task: Any):
+        self.namespace = namespace
+        self.task = task
+
+    def run_quantum(self):
+        return self.task.run_quantum()
+
+    @property
+    def done(self) -> bool:
+        return self.task.done
+
+    @property
+    def time(self) -> float:
+        return self.task.time
+
+    @property
+    def steps(self) -> int:
+        return self.task.steps
+
+    def __getstate__(self):
+        return (self.namespace, self.task)
+
+    def __setstate__(self, state):
+        self.namespace, self.task = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NamespacedTask {self.namespace!r}:{_task_key(self.task)}>"
 
 
 # ----------------------------------------------------------------------
@@ -247,23 +293,69 @@ class ClusterMaster:
         self._listener: Optional[socket.socket] = None
         self._readers: list[threading.Thread] = []
         self._stopping = False
+        self._started = False
+        self._closed = False
+        #: serve mode (see :meth:`serve`): task key -> caller future
+        self._futures: dict[Any, Any] = {}
+        self._serve_thread: Optional[threading.Thread] = None
+        self._serve_stop = threading.Event()
+        self._serve_error: Optional[BaseException] = None
 
     # -- lifecycle -------------------------------------------------------
     def run(self):
         """Generator: drive every task to completion, yielding each
-        :class:`QuantumResult` as its frame arrives."""
-        started = time.monotonic()
+        :class:`QuantumResult` as its frame arrives.  One-shot
+        convenience equal to ``start()`` + ``run_tasks(self.tasks)`` +
+        ``close()``; use the pieces directly to reuse the worker fleet
+        across several runs."""
+        self.start()
+        try:
+            yield from self.run_tasks(self.tasks)
+        finally:
+            self.close()
+
+    def start(self) -> None:
+        """Bring the fleet up: listen, spawn (or await) workers, start
+        the reader threads.  Idempotent while running; a closed master
+        stays closed (build a new one -- its sockets are gone)."""
+        if self._closed:
+            raise ClusterError("master is closed; create a new one")
+        if self._started:
+            return
         self._listen()
         try:
             self._spawn()
             self._accept_workers()
             self._start_readers()
-            self.ready.extend(self.tasks)
+        except BaseException:
+            self._started = True  # close() must tear down what came up
+            self.close()
+            raise
+        self._started = True
+
+    def run_tasks(self, tasks: list):
+        """Generator: drive ``tasks`` to completion on the started
+        fleet, yielding each :class:`QuantumResult` as its frame
+        arrives.  May be called repeatedly on one master -- the workers
+        (and their warm caches) survive between runs; per-run scheduling
+        state is reset, cumulative counters are not."""
+        if not self._started or self._closed:
+            raise ClusterError("start() the master before run_tasks()")
+        if self._serve_thread is not None:
+            raise ClusterError("master is in serve mode; use execute()")
+        started = time.monotonic()
+        self.tasks = list(tasks)
+        self.n_tasks = len(self.tasks)
+        self.completed = 0
+        self._stopping = False
+        self.assignment.clear()
+        self.ready.clear()
+        self.ready.extend(self.tasks)
+        try:
             self._dispatch()
             yield from self._event_loop()
         finally:
-            self.wall_time = time.monotonic() - started
-            self._shutdown()
+            self.wall_time += time.monotonic() - started
 
     def _event_loop(self):
         while self.completed < self.n_tasks:
@@ -551,8 +643,132 @@ class ClusterMaster:
                 f"worker {worker_id} has no local process to kill")
         proc.kill()
 
+    # -- serve mode ------------------------------------------------------
+    def serve(self) -> None:
+        """Start the fleet and a background scheduling thread, turning
+        the master into a long-lived *quantum executor*: callers submit
+        single quanta via :meth:`execute` and get futures back, while
+        affinity, bounded in-flight windows, heartbeats and replay-on-
+        death keep working exactly as in batch mode.  This is the
+        cluster leg of the service's shared fleet -- many concurrent
+        tenant runs, one pool of worker processes."""
+        if self._serve_thread is not None:
+            return
+        self.start()
+        self._serve_stop.clear()
+        self._serve_thread = threading.Thread(
+            target=self._serve_forever, daemon=True, name="cluster-serve")
+        self._serve_thread.start()
+
+    def execute(self, task: Any, namespace: Any = None):
+        """Submit one task for one quantum; returns a
+        :class:`concurrent.futures.Future` resolving to
+        ``(advanced_task, [QuantumResult, ...])`` -- the same contract as
+        a process pool running ``task.run_quantum()``.  ``namespace``
+        scopes the task's scheduling identity (affinity pin, in-flight
+        slot, result future) to one tenant run."""
+        from concurrent.futures import Future
+
+        if self._serve_thread is None:
+            raise ClusterError("serve() the master before execute()")
+        if self._closed or self._serve_error is not None:
+            raise ClusterError(
+                f"cluster fleet is down: {self._serve_error or 'closed'}")
+        future: Future = Future()
+        env = task if namespace is None else NamespacedTask(namespace, task)
+        self._inbox.put(("submit", -1, (env, future)))
+        return future
+
+    def _serve_forever(self) -> None:
+        try:
+            while not self._serve_stop.is_set():
+                self._check_heartbeats()
+                try:
+                    kind, worker_id, payload = self._inbox.get(
+                        timeout=self.poll_interval)
+                except queue.Empty:
+                    continue
+                if kind == "submit":
+                    env, future = payload
+                    self._futures[_task_key(env)] = future
+                    self.ready.append(env)
+                    self._dispatch()
+                elif kind == "dead":
+                    self._worker_dead(worker_id, payload)
+                    self._dispatch()
+                elif kind == "msg":
+                    msg = payload
+                    if isinstance(msg, ResultMsg):
+                        self._serve_result(msg)
+                        if self.fault_hook is not None:
+                            self.fault_hook(self)
+                        self._dispatch()
+                    elif isinstance(msg, WorkerFailure):
+                        raise ClusterError(
+                            f"worker {worker_id} failed: {msg.error}")
+        except BaseException as exc:  # noqa: BLE001 - fail every caller
+            self._serve_error = exc
+            failed, self._futures = self._futures, {}
+            for future in failed.values():
+                if not future.done():
+                    future.set_exception(ClusterError(
+                        f"cluster fleet failed: {exc}"))
+
+    def _serve_result(self, msg: ResultMsg) -> None:
+        """Serve-mode result handling: one quantum done, resolve its
+        future (the per-run emitters above the fleet own rescheduling,
+        so nothing is re-enqueued here)."""
+        handle = self.workers.get(msg.worker_id)
+        if handle is None or not handle.alive:
+            self.stale_results += 1
+            return
+        env = msg.task
+        key = _task_key(env)
+        if key not in handle.in_flight:
+            self.stale_results += 1
+            return
+        del handle.in_flight[key]
+        handle.items_done += 1
+        self.results_received += 1
+        self.completed += 1
+        if env.done:
+            # the tenant run is finished with this lane: drop the pin so
+            # the affinity map cannot grow without bound across runs
+            self.assignment.pop(key, None)
+        future = self._futures.pop(key, None)
+        task = env.task if isinstance(env, NamespacedTask) else env
+        if future is not None and not future.done():
+            future.set_result((task, list(msg.results)))
+
     # -- teardown --------------------------------------------------------
-    def _shutdown(self) -> None:
+    def close(self) -> None:
+        """Tear the fleet down: shutdown frames, sockets, worker
+        processes.  Idempotent -- closing twice (or closing a master
+        that never started) is a no-op, so every caller on every error
+        path may close defensively."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serve_thread is not None:
+            self._serve_stop.set()
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+            orphaned = list(self._futures.values())
+            self._futures = {}
+            # submissions the serve thread never dequeued hold futures
+            # not yet registered in _futures -- drain those too, or
+            # their waiters hang forever
+            while True:
+                try:
+                    kind, _worker_id, payload = self._inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if kind == "submit":
+                    orphaned.append(payload[1])
+            for future in orphaned:
+                if not future.done():
+                    future.set_exception(
+                        ClusterError("master closed with quanta in flight"))
         for handle in self.workers.values():
             if handle.alive:
                 try:
@@ -566,11 +782,17 @@ class ClusterMaster:
                 pass
         if self._listener is not None:
             self._listener.close()
+            self._listener = None
         for proc in self._procs.values():
             proc.join(timeout=5.0)
             if proc.is_alive():
                 _kill_process(proc)
                 proc.join(timeout=1.0)
+        self._procs.clear()
+
+    def _shutdown(self) -> None:
+        """Backwards-compatible alias of :meth:`close`."""
+        self.close()
 
     # -- accounting ------------------------------------------------------
     def counters(self) -> dict[str, float]:

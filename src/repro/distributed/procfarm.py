@@ -102,7 +102,8 @@ class ProcessSimEngineNode(Node):
 def run_workflow_multiprocess(model: Union[Model, ReactionNetwork],
                               config: WorkflowConfig,
                               controller: Optional[SteeringController] = None,
-                              tracer: Optional[Tracer] = None
+                              tracer: Optional[Tracer] = None,
+                              pool: Optional[ProcessPoolExecutor] = None
                               ) -> WorkflowResult:
     """Like :func:`repro.pipeline.run_workflow`, with process-backed
     simulation engines.  Requires a picklable model (all bundled models
@@ -119,19 +120,29 @@ def run_workflow_multiprocess(model: Union[Model, ReactionNetwork],
     attached :class:`~repro.pipeline.adaptive.AdaptiveController` can
     re-key it mid-run -- the engine processes only ever see the next
     quantum the backlog releases.
+
+    ``pool`` reuses an already-running executor (the farm is then
+    *attached*, not owned: the caller keeps it alive across runs and
+    shuts it down once -- how the service amortises worker startup over
+    many tenant runs).  Without it, a pool is created and torn down for
+    this run, the historical behaviour.
     """
     from repro.ff.executor import run as ff_run
 
     cut_store: Optional[list] = [] if config.keep_cuts else None
     prefix = make_prefix() if config.zero_copy else None
+    owned = pool is None
+    if owned:
+        pool = ProcessPoolExecutor(max_workers=config.n_sim_workers)
     try:
-        with ProcessPoolExecutor(max_workers=config.n_sim_workers) as pool:
-            workflow = build_workflow(
-                model, config, controller=controller, cut_store=cut_store,
-                engine_factory=lambda i: ProcessSimEngineNode(
-                    pool, name=f"psim-eng-{i}", shm_prefix=prefix))
-            windows = ff_run(workflow, backend="threads", trace=tracer)
+        workflow = build_workflow(
+            model, config, controller=controller, cut_store=cut_store,
+            engine_factory=lambda i: ProcessSimEngineNode(
+                pool, name=f"psim-eng-{i}", shm_prefix=prefix))
+        windows = ff_run(workflow, backend="threads", trace=tracer)
     finally:
+        if owned:
+            pool.shutdown(wait=True)
         if prefix is not None:
             sweep_orphans(prefix)
     return WorkflowResult(config=config, windows=windows,

@@ -63,15 +63,64 @@ _counter = count()
 _SHM_DIR = "/dev/shm"
 
 
-def make_prefix(master_pid: Optional[int] = None) -> str:
-    """A per-run segment-name prefix: ``repro-shm-<masterpid>-<token>``.
+def make_prefix(master_pid: Optional[int] = None,
+                tag: Optional[str] = None) -> str:
+    """A per-run segment-name prefix: ``repro-shm-<masterpid>-<token>``
+    (or ``repro-shm-<masterpid>-<tag>-<token>`` with a ``tag``).
 
     The pid scopes leak detection to this master process; the random
     token keeps concurrent runs inside one process (e.g. parallel test
-    threads) from sweeping each other's segments.
+    threads, or the service's tenant runs) from sweeping each other's
+    segments.  ``tag`` embeds a human-readable namespace -- the service
+    passes its run id, so ``ls /dev/shm`` attributes pages to tenants.
     """
     pid = os.getpid() if master_pid is None else master_pid
-    return f"{SEGMENT_PREFIX}-{pid}-{secrets.token_hex(4)}"
+    middle = f"-{tag}" if tag else ""
+    return f"{SEGMENT_PREFIX}-{pid}{middle}-{secrets.token_hex(4)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness: signal 0 probes existence; EPERM means the
+    pid exists but belongs to someone else -- alive either way."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def sweep_dead_owners() -> list[str]:
+    """Reclaim segments whose owning master process is gone.
+
+    Per-run sweeps (:func:`sweep_orphans`) only cover runs whose prefix
+    the sweeping process still knows.  A master that *crashed* -- or a
+    service that was SIGKILLed mid-run -- leaves segments behind that no
+    surviving prefix names.  Segment names embed the owner's pid
+    (``repro-shm-<pid>-...``), so a long-lived service can reclaim them
+    at startup: any segment whose owner pid is no longer alive is
+    unlinked.  Segments of live processes (including our own) are never
+    touched; unparseable names are skipped.  Returns the swept names.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    swept = []
+    pattern = os.path.join(_SHM_DIR, SEGMENT_PREFIX + "-*")
+    for path in sorted(glob.glob(pattern)):
+        name = os.path.basename(path)
+        rest = name[len(SEGMENT_PREFIX) + 1:]
+        pid_str = rest.split("-", 1)[0]
+        if not pid_str.isdigit():
+            continue
+        if _pid_alive(int(pid_str)):
+            continue
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            continue
+        swept.append(name)
+    return swept
 
 
 def _untrack(name: str) -> None:

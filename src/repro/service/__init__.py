@@ -1,0 +1,51 @@
+"""repro.service: an async multi-tenant simulation service.
+
+One long-running process, one shared worker fleet, many concurrent,
+independently steered simulation-analysis runs.  This is the
+service-level scale story on top of the paper's Fig. 2 workflow: the
+batch CLI owns one backend for one run; the service multiplexes N runs
+over a single pool of workers, with per-run task namespaces, per-run
+tracing/steering, per-tenant backpressure (bounded in-flight quanta)
+and a stride fair-share scheduler so a saturating parameter sweep
+cannot starve an interactive run.
+
+Layers (bottom up):
+
+* :mod:`repro.service.fairshare` -- the stride scheduler deciding whose
+  quantum dispatches next;
+* :mod:`repro.service.fleet` -- :class:`SharedFleet`, the one shared
+  pool of workers (threads / processes / TCP cluster) behind a
+  per-tenant submission interface;
+* :mod:`repro.service.run_manager` -- :class:`RunManager`, one
+  workflow per tenant run (own controller, tracer, shm namespace),
+  all simulating over the shared fleet;
+* :mod:`repro.service.protocol` -- the JSON wire schema and the
+  RFC 6455 WebSocket framing (stdlib only, no framework);
+* :mod:`repro.service.api` / :mod:`repro.service.app` -- the asyncio
+  HTTP + WebSocket front-end (``POST /runs``, ``GET /runs/{id}``,
+  ``WS /runs/{id}/stream``, ``POST /runs/{id}/cancel`` / ``steer``);
+* :mod:`repro.service.client` -- a stdlib client (used by the tests,
+  the CI smoke job and the example; mirrors what ``curl`` +
+  ``websockets`` would do).
+
+Run it: ``python -m repro.service --port 8642 --workers 4``.
+
+Results streamed over the socket are **bit-identical** to the same
+config run through the batch CLI: JSON floats round-trip exactly
+(``repr`` shortest-float encoding), and per-run determinism is
+independent of fleet interleaving by the same construction that makes
+every batch backend bit-identical.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.fairshare import StrideScheduler
+from repro.service.fleet import FleetClient, FleetClosed, SharedFleet
+from repro.service.protocol import RunSpec, windows_to_jsonable
+from repro.service.run_manager import RunHandle, RunManager, RunState
+
+__all__ = [
+    "ServiceApp", "ServiceClient", "ServiceError", "StrideScheduler",
+    "SharedFleet", "FleetClient", "FleetClosed", "RunManager",
+    "RunHandle", "RunState", "RunSpec", "windows_to_jsonable",
+]

@@ -1,0 +1,322 @@
+"""The asyncio HTTP + WebSocket face of the service.
+
+A deliberately small server: HTTP/1.1 parsed by hand over asyncio
+streams, six routes, and an RFC 6455 upgrade for the streaming
+endpoint.  No framework -- the service's dependencies are the standard
+library, full stop.
+
+Routes
+------
+
+==========  =========================  =====================================
+``POST``    ``/runs``                  submit a :class:`~repro.service.
+                                       protocol.RunSpec`; returns 202 with
+                                       ``{"run_id": ...}``
+``GET``     ``/runs``                  list runs (status summaries)
+``GET``     ``/runs/{id}``             one run's status
+``POST``    ``/runs/{id}/cancel``      steered early stop
+``POST``    ``/runs/{id}/steer``       ``{"action": "stop"|"repriority"}``
+``GET``     ``/runs/{id}/stream``      WebSocket: replay + live window
+                                       events, then one ``end`` event
+``GET``     ``/fleet``                 shared-fleet scheduler statistics
+==========  =========================  =====================================
+
+The WebSocket stream carries exactly what the batch CLI would have
+computed: one ``{"type": "window", "seq": n, "window": {...}}`` text
+frame per analysed window (bit-identical floats; see
+:mod:`repro.service.protocol`) and a final ``{"type": "end", ...}``
+frame, after which the server closes the socket cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Optional
+
+from repro.service.protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    ProtocolError,
+    RunSpec,
+    WSDecoder,
+    dumps,
+    loads,
+    ws_accept_key,
+    ws_encode,
+)
+from repro.service.run_manager import RunManager
+
+MAX_BODY = 8 * 1024 * 1024
+MAX_HEADER = 64 * 1024
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            426: "Upgrade Required", 500: "Internal Server Error"}
+
+
+def _suppress_teardown():
+    return contextlib.suppress(asyncio.CancelledError, ConnectionError,
+                               OSError)
+
+
+class HTTPError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str,
+                 headers: dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (self.headers.get("upgrade", "").lower() == "websocket"
+                and "upgrade" in
+                self.headers.get("connection", "").lower())
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one HTTP/1.1 request; None on clean EOF before a request."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(400, "headers too large") from exc
+    if len(head) > MAX_HEADER:
+        raise HTTPError(400, "headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY:
+        raise HTTPError(400, "body too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return Request(method, path, headers, body)
+
+
+def _response_bytes(status: int, payload: Any,
+                    extra_headers: tuple = ()) -> bytes:
+    body = dumps(payload)
+    head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive"]
+    head.extend(extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+class ServiceAPI:
+    """Routes requests on one connection to the :class:`RunManager`."""
+
+    def __init__(self, manager: RunManager):
+        self.manager = manager
+
+    # -- connection loop -------------------------------------------------
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutting down: drop the connection quietly
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+            with _suppress_teardown():
+                await writer.wait_closed()
+
+    async def _connection(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                request = await read_request(reader)
+            except HTTPError as exc:
+                writer.write(_response_bytes(
+                    exc.status, {"error": exc.message}))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            if request.wants_websocket:
+                await self._handle_websocket(request, reader, writer)
+                return  # ws consumed the connection
+            keep_alive = await self._handle_http(request, writer)
+            if not keep_alive:
+                return
+
+    # -- plain HTTP ------------------------------------------------------
+    async def _handle_http(self, request: Request,
+                           writer: asyncio.StreamWriter) -> bool:
+        try:
+            status, payload = await asyncio.get_running_loop()\
+                .run_in_executor(None, self._route, request)
+        except HTTPError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except ProtocolError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        writer.write(_response_bytes(status, payload))
+        await writer.drain()
+        return request.headers.get("connection", "").lower() != "close"
+
+    def _route(self, request: Request) -> tuple[int, Any]:
+        """Synchronous routing (run in a thread: manager calls may take
+        locks held briefly by run threads)."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        segments = [s for s in path.split("/") if s]
+
+        if path == "/runs":
+            if method == "POST":
+                spec = RunSpec.from_jsonable(self._json_body(request))
+                handle = self.manager.submit(spec)
+                return 202, {"run_id": handle.run_id,
+                             "state": handle.state}
+            if method == "GET":
+                return 200, {"runs": [h.status(self.manager.fleet)
+                                      for h in self.manager.list()]}
+            raise HTTPError(405, f"{method} not supported on {path}")
+
+        if len(segments) >= 2 and segments[0] == "runs":
+            run_id = segments[1]
+            try:
+                handle = self.manager.get(run_id)
+            except KeyError as exc:
+                raise HTTPError(404, str(exc)) from exc
+            if len(segments) == 2:
+                if method != "GET":
+                    raise HTTPError(405, f"{method} not supported")
+                return 200, handle.status(self.manager.fleet)
+            action = segments[2]
+            if action == "cancel" and method == "POST":
+                return 200, self.manager.cancel(run_id)
+            if action == "steer" and method == "POST":
+                try:
+                    return 200, self.manager.steer(
+                        run_id, self._json_body(request))
+                except ValueError as exc:
+                    raise HTTPError(400, str(exc)) from exc
+            if action == "stream":
+                raise HTTPError(426, "/stream is a WebSocket endpoint; "
+                                     "send an Upgrade: websocket request")
+            raise HTTPError(404, f"unknown action {action!r}")
+
+        if path == "/fleet" and method == "GET":
+            return 200, self.manager.fleet.stats()
+
+        raise HTTPError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _json_body(request: Request) -> Any:
+        if not request.body:
+            return {}
+        try:
+            return loads(request.body)
+        except ProtocolError as exc:
+            raise HTTPError(400, str(exc)) from exc
+
+    # -- WebSocket streaming ---------------------------------------------
+    async def _handle_websocket(self, request: Request,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        segments = [s for s in request.path.split("/") if s]
+        if (len(segments) != 3 or segments[0] != "runs"
+                or segments[2] != "stream"):
+            writer.write(_response_bytes(
+                404, {"error": "only /runs/{id}/stream upgrades"}))
+            await writer.drain()
+            return
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            writer.write(_response_bytes(
+                400, {"error": "missing Sec-WebSocket-Key"}))
+            await writer.drain()
+            return
+        try:
+            handle = self.manager.get(segments[1])
+        except KeyError as exc:
+            writer.write(_response_bytes(404, {"error": str(exc)}))
+            await writer.drain()
+            return
+
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {ws_accept_key(key)}\r\n\r\n"
+        ).encode("latin-1"))
+        await writer.drain()
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        backlog = handle.subscribe(loop, queue)
+        control = asyncio.ensure_future(
+            self._drain_client_frames(reader, writer))
+        try:
+            ended = False
+            for event in backlog:
+                writer.write(ws_encode(dumps(event), OP_TEXT))
+                if event.get("type") == "end":
+                    ended = True
+            await writer.drain()
+            while not ended:
+                event = await queue.get()
+                writer.write(ws_encode(dumps(event), OP_TEXT))
+                await writer.drain()
+                if event.get("type") == "end":
+                    ended = True
+            writer.write(ws_encode(b"\x03\xe8", OP_CLOSE))  # 1000 normal
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            handle.unsubscribe(queue)
+            control.cancel()
+
+    @staticmethod
+    async def _drain_client_frames(reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter) -> None:
+        """Answer pings, swallow everything else until the peer closes."""
+        decoder = WSDecoder()
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    return
+                for opcode, payload in decoder.feed(data):
+                    if opcode == OP_PING:
+                        writer.write(ws_encode(payload, OP_PONG))
+                        await writer.drain()
+                    elif opcode == OP_CLOSE:
+                        return
+        except (ConnectionError, OSError, ProtocolError,
+                asyncio.CancelledError):
+            return

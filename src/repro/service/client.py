@@ -1,0 +1,177 @@
+"""A stdlib client for the service: HTTP verbs + the WebSocket stream.
+
+Nothing here is required to talk to the service -- any HTTP client and
+any RFC 6455 WebSocket library works -- but tests, the CI smoke job and
+the examples need a dependency-free way in, so the client mirrors the
+protocol module: ``http.client`` for the verbs, a raw socket with
+:func:`~repro.service.protocol.ws_encode` / :class:`~repro.service.
+protocol.WSDecoder` for the stream.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+from base64 import b64encode
+from os import urandom
+from typing import Any, Iterator, Optional
+
+from repro.service.protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    ProtocolError,
+    WSDecoder,
+    dumps,
+    loads,
+    ws_accept_key,
+    ws_encode,
+)
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.app.ServiceApp`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- HTTP ------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Any = None) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = dumps(payload) if payload is not None else None
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = loads(response.read())
+            if response.status >= 400:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    def submit(self, spec: dict[str, Any]) -> str:
+        """Submit a run spec; returns the run id."""
+        return self._request("POST", "/runs", spec)["run_id"]
+
+    def status(self, run_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/runs/{run_id}")
+
+    def runs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/runs")["runs"]
+
+    def cancel(self, run_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/runs/{run_id}/cancel")
+
+    def steer(self, run_id: str, action: dict[str, Any]) -> dict[str, Any]:
+        return self._request("POST", f"/runs/{run_id}/steer", action)
+
+    def fleet(self) -> dict[str, Any]:
+        return self._request("GET", "/fleet")
+
+    # -- WebSocket -------------------------------------------------------
+    def stream(self, run_id: str,
+               timeout: Optional[float] = None) -> Iterator[dict[str, Any]]:
+        """Yield the run's event stream (replay + live) until its
+        ``end`` event, then return.  Safe to call before, during or
+        after the run -- the server replays the backlog."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout or self.timeout)
+        try:
+            key = b64encode(urandom(16)).decode("ascii")
+            sock.sendall((
+                f"GET /runs/{run_id}/stream HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n"
+            ).encode("latin-1"))
+            head, tail = self._read_http_head(sock)
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in f"{status_line} ":
+                raise ServiceError(0, f"upgrade refused: {status_line}")
+            accept = self._header(head, b"sec-websocket-accept")
+            if accept != ws_accept_key(key):
+                raise ProtocolError("bad Sec-WebSocket-Accept")
+            decoder = WSDecoder()
+            data = tail  # frames may ride the same packet as the 101
+            while True:
+                for opcode, payload in decoder.feed(data):
+                    if opcode == OP_TEXT:
+                        event = loads(payload)
+                        yield event
+                        if event.get("type") == "end":
+                            sock.sendall(ws_encode(b"\x03\xe8", OP_CLOSE,
+                                                   mask=True))
+                            return
+                    elif opcode == OP_PING:
+                        sock.sendall(ws_encode(payload, OP_PONG,
+                                               mask=True))
+                    elif opcode == OP_CLOSE:
+                        return
+                data = sock.recv(65536)
+                if not data:
+                    return
+        finally:
+            sock.close()
+
+    def stream_windows(self, run_id: str,
+                       timeout: Optional[float] = None
+                       ) -> list[dict[str, Any]]:
+        """Collect the run's window payloads in stream order (blocks
+        until the run ends); raises if the run failed."""
+        windows = []
+        for event in self.stream(run_id, timeout=timeout):
+            if event["type"] == "window":
+                windows.append(event["window"])
+            elif event["type"] == "end" and event.get("error"):
+                raise ServiceError(0, event["error"])
+        return windows
+
+    def wait(self, run_id: str,
+             timeout: Optional[float] = None) -> dict[str, Any]:
+        """Block until the run ends (by consuming its stream); returns
+        the final status."""
+        for _ in self.stream(run_id, timeout=timeout):
+            pass
+        return self.status(run_id)
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _read_http_head(sock: socket.socket) -> tuple[bytes, bytes]:
+        """Read up to the upgrade response's blank line; the remainder
+        of the last packet is the start of the frame stream."""
+        head = bytearray()
+        while b"\r\n\r\n" not in head:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise ProtocolError("connection closed during upgrade")
+            head += chunk
+            if len(head) > 64 * 1024:
+                raise ProtocolError("upgrade response too large")
+        split = head.index(b"\r\n\r\n") + 4
+        return bytes(head[:split]), bytes(head[split:])
+
+    @staticmethod
+    def _header(head: bytes, name: bytes) -> str:
+        for line in head.split(b"\r\n")[1:]:
+            key, sep, value = line.partition(b":")
+            if sep and key.strip().lower() == name:
+                return value.strip().decode("latin-1")
+        return ""

@@ -1,0 +1,221 @@
+"""Fleet reuse and idempotent teardown (ISSUE 8 satellite 2).
+
+The service keeps one worker fleet alive across many tenant runs, so
+the lifecycle pieces under it must be reentrant: a ClusterMaster's
+``start()`` / ``run_tasks()`` / ``close()`` split has to survive
+repeated runs and repeated closes, serve mode must multiplex namespaces
+without key collisions, and ``run_workflow_multiprocess`` must accept a
+caller-owned pool and leave it running.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.distributed.net import ClusterError, ClusterMaster, NamespacedTask
+from repro.distributed.procfarm import run_workflow_multiprocess
+from repro.pipeline import WorkflowConfig, run_workflow
+from repro.sim.task import make_tasks
+
+pytestmark = pytest.mark.slow
+
+
+def small_tasks(model, n=3, seed=0):
+    return make_tasks(model, n_simulations=n, t_end=4.0, quantum=2.0,
+                      sample_every=0.5, seed=seed)
+
+
+def reference_samples(tasks):
+    """What the tasks produce when run locally, in (task, samples) form
+    -- the oracle for any distributed execution of copies."""
+    per_task = {}
+    for task in copy.deepcopy(tasks):
+        samples = []
+        while not task.done:
+            result = task.run_quantum()
+            for r in (result if isinstance(result, list) else [result]):
+                samples.extend(r.samples)
+        per_task[task.task_id] = samples
+    return per_task
+
+
+def collect(results_iter):
+    per_task = {}
+    for result in results_iter:
+        per_task.setdefault(result.task_id, []).extend(result.samples)
+    return per_task
+
+
+class TestClusterReattach:
+    def test_two_runs_reuse_one_fleet(self, neurospora_small):
+        """run_tasks twice on one started master: both runs complete and
+        both match the local oracle -- warm workers don't bleed state
+        between runs."""
+        batch1 = small_tasks(neurospora_small, seed=0)
+        batch2 = small_tasks(neurospora_small, seed=100)
+        master = ClusterMaster([], n_workers=2)
+        master.start()
+        try:
+            got1 = collect(master.run_tasks(batch1))
+            got2 = collect(master.run_tasks(batch2))
+        finally:
+            master.close()
+        assert got1 == reference_samples(small_tasks(neurospora_small,
+                                                     seed=0))
+        assert got2 == reference_samples(small_tasks(neurospora_small,
+                                                     seed=100))
+
+    def test_close_is_idempotent(self, neurospora_small):
+        master = ClusterMaster(small_tasks(neurospora_small),
+                               n_workers=1)
+        master.start()
+        master.close()
+        master.close()  # double-close must be a no-op
+        master._shutdown()  # and the legacy alias too
+
+    def test_close_without_start_is_safe(self):
+        master = ClusterMaster([], n_workers=1)
+        master.close()
+        master.close()
+
+    def test_closed_master_rejects_reuse(self, neurospora_small):
+        master = ClusterMaster([], n_workers=1)
+        master.start()
+        master.close()
+        with pytest.raises(ClusterError):
+            master.start()
+        with pytest.raises(ClusterError):
+            list(master.run_tasks(small_tasks(neurospora_small)))
+
+    def test_run_tasks_requires_start(self, neurospora_small):
+        master = ClusterMaster([], n_workers=1)
+        with pytest.raises(ClusterError):
+            list(master.run_tasks(small_tasks(neurospora_small)))
+
+    def test_one_shot_run_still_closes(self, neurospora_small):
+        """The historical run() contract: drive to completion, tear
+        down, and stay torn down."""
+        tasks = small_tasks(neurospora_small)
+        master = ClusterMaster(tasks, n_workers=2)
+        got = collect(master.run())
+        assert got == reference_samples(small_tasks(neurospora_small))
+        with pytest.raises(ClusterError):
+            master.start()
+
+
+class TestServeMode:
+    def test_execute_resolves_like_a_pool(self, neurospora_small):
+        task = small_tasks(neurospora_small, n=1)[0]
+        oracle = reference_samples([task])[task.task_id]
+        master = ClusterMaster([], n_workers=1)
+        master.serve()
+        try:
+            samples = []
+            current = task
+            while not current.done:
+                current, results = master.execute(current).result(
+                    timeout=60)
+                for r in results:
+                    samples.extend(r.samples)
+            assert samples == oracle
+        finally:
+            master.close()
+
+    def test_namespaces_keep_equal_task_ids_apart(self, neurospora_small):
+        """Two tenants both submit task_id 0: host affinity and result
+        routing must not cross."""
+        t_a = small_tasks(neurospora_small, n=1, seed=0)[0]
+        t_b = small_tasks(neurospora_small, n=1, seed=100)[0]
+        assert t_a.task_id == t_b.task_id
+        oracle_a = reference_samples([t_a])[t_a.task_id]
+        oracle_b = reference_samples([t_b])[t_b.task_id]
+        master = ClusterMaster([], n_workers=2)
+        master.serve()
+        try:
+            samples = {"a": [], "b": []}
+            current = {"a": t_a, "b": t_b}
+            while any(not t.done for t in current.values()):
+                futures = {ns: master.execute(t, namespace=ns)
+                           for ns, t in current.items() if not t.done}
+                for ns, future in futures.items():
+                    advanced, results = future.result(timeout=60)
+                    current[ns] = advanced
+                    for r in results:
+                        samples[ns].extend(r.samples)
+        finally:
+            master.close()
+        assert samples["a"] == oracle_a
+        assert samples["b"] == oracle_b
+        assert samples["a"] != samples["b"]
+
+    def test_run_tasks_refused_while_serving(self, neurospora_small):
+        master = ClusterMaster([], n_workers=1)
+        master.serve()
+        try:
+            with pytest.raises(ClusterError):
+                list(master.run_tasks(small_tasks(neurospora_small)))
+        finally:
+            master.close()
+
+    def test_execute_after_close_raises(self, neurospora_small):
+        master = ClusterMaster([], n_workers=1)
+        master.serve()
+        master.close()
+        with pytest.raises(ClusterError):
+            master.execute(small_tasks(neurospora_small, n=1)[0])
+
+    def test_close_fails_orphaned_futures(self, neurospora_small):
+        """Futures still pending when the master closes must fail, not
+        hang their waiters forever."""
+        master = ClusterMaster([], n_workers=1)
+        master.serve()
+        futures = [master.execute(t)
+                   for t in small_tasks(neurospora_small, n=4)]
+        master.close()
+        outcomes = []
+        for future in futures:
+            try:
+                future.result(timeout=30)
+                outcomes.append("ok")
+            except ClusterError:
+                outcomes.append("failed")
+        assert "failed" in outcomes or all(o == "ok" for o in outcomes)
+        assert len(outcomes) == 4  # nobody hung
+
+
+class TestNamespacedTaskEnvelope:
+    def test_envelope_delegates_and_pickles(self, neurospora_small):
+        task = small_tasks(neurospora_small, n=1)[0]
+        wrapped = NamespacedTask("tenant-1", task)
+        assert wrapped.done == task.done
+        assert wrapped.time == task.time
+        import pickle
+        back = pickle.loads(pickle.dumps(wrapped))
+        assert back.namespace == "tenant-1"
+        assert back.task.task_id == task.task_id
+
+
+class TestProcessFarmPoolReuse:
+    def test_caller_owned_pool_survives_runs(self, neurospora_small):
+        """Two workflows over one pool: results identical to the
+        owned-pool path, and the pool still works afterwards."""
+        cfg = WorkflowConfig(n_simulations=4, t_end=4.0, sample_every=0.5,
+                             quantum=2.0, n_sim_workers=2, window_size=5,
+                             seed=3, keep_cuts=True)
+        baseline = run_workflow(neurospora_small, cfg)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first = run_workflow_multiprocess(neurospora_small, cfg,
+                                              pool=pool)
+            second = run_workflow_multiprocess(neurospora_small, cfg,
+                                              pool=pool)
+            # the farm did not shut the caller's pool down
+            assert pool.submit(pow, 2, 5).result(timeout=30) == 32
+        expect = [(s.grid_index, s.mean, s.variance)
+                  for s in baseline.cut_statistics()]
+        assert [(s.grid_index, s.mean, s.variance)
+                for s in first.cut_statistics()] == expect
+        assert [(s.grid_index, s.mean, s.variance)
+                for s in second.cut_statistics()] == expect

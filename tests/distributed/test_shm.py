@@ -185,3 +185,63 @@ class TestProcessesBackendZeroCopy:
         run_workflow_multiprocess(neurospora_small, _shm_config())
         mine = f"{SEGMENT_PREFIX}-{os.getpid()}"
         assert leaked_segments(mine) == []
+
+
+class TestDeadOwnerSweep:
+    """Startup hygiene (ISSUE 8 satellite 1): a service restarting after
+    a crash reclaims segments whose owning master process is gone --
+    and only those."""
+
+    def test_dead_owner_segment_is_swept(self):
+        from repro.distributed.shm import sweep_dead_owners
+
+        # a pid that certainly is not running: fork a child that exits
+        # immediately, then use its (now free) pid as the "crashed
+        # service"
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        dead_prefix = make_prefix(master_pid=pid, tag="crashed")
+        block = publish_results([columnar_result()], dead_prefix)
+        try:
+            swept = sweep_dead_owners()
+            assert block.name in swept
+            assert leaked_segments(dead_prefix) == []
+        finally:
+            sweep_orphans(dead_prefix)
+
+    def test_live_owner_segments_are_untouched(self, prefix):
+        from repro.distributed.shm import sweep_dead_owners
+
+        block = publish_results([columnar_result()], prefix)
+        try:
+            swept = sweep_dead_owners()
+            assert block.name not in swept
+            assert leaked_segments(prefix) == [block.name]
+        finally:
+            sweep_orphans(prefix)
+
+    def test_tagged_prefix_embeds_owner_and_tag(self):
+        p = make_prefix(tag="run-7")
+        assert p.startswith(f"{SEGMENT_PREFIX}-{os.getpid()}-run-7-")
+
+    def test_fleet_start_runs_the_sweep(self):
+        """The shared fleet's startup is the service's hygiene hook."""
+        from repro.distributed.shm import sweep_dead_owners
+        from repro.service.fleet import SharedFleet
+
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        dead_prefix = make_prefix(master_pid=pid, tag="crashed")
+        block = publish_results([columnar_result()], dead_prefix)
+        fleet = SharedFleet(1, backend="threads")
+        try:
+            fleet.start()
+            assert block.name in fleet.stats()["swept_at_start"]
+            assert leaked_segments(dead_prefix) == []
+        finally:
+            fleet.close()
+            sweep_orphans(dead_prefix)

@@ -1,0 +1,186 @@
+"""Isolation of concurrently driven controllers (ISSUE 8 satellite 3).
+
+The service runs N tenant workflows in one process, each with its own
+SteeringController / AdaptiveController.  Nothing may bleed between
+them when their stat workers notify in interleaved order from many
+threads: not ``windows_seen``, not ``latest``, not adaptive trace
+counters, not a convergence policy's pooled-moment watermark, not an
+attached scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.engines import WindowStatistics
+from repro.analysis.stats import CutStatistics
+from repro.pipeline import WorkflowConfig
+from repro.pipeline.adaptive import (AdaptiveController,
+                                     ConvergenceStopPolicy,
+                                     make_adaptive_controller)
+from repro.pipeline.builder import run_workflow
+from repro.pipeline.steering import SteeringController
+
+
+def _stats(index, mean=10.0, variance=0.0, n=64):
+    cut = CutStatistics(grid_index=index, time=float(index),
+                        n_trajectories=n, mean=(mean,),
+                        variance=(variance,), minimum=(mean,),
+                        maximum=(mean,), median=(mean,))
+    return WindowStatistics(window_index=index, start_time=float(index),
+                            end_time=index + 1.0, cuts=[cut])
+
+
+def _interleave(controllers, notifications):
+    """Drive each controller's notification list from its own pair of
+    threads, all racing; returns when every notification landed."""
+    threads = []
+    barrier = threading.Barrier(2 * len(controllers))
+
+    def pump(controller, batch):
+        barrier.wait()
+        for stats in batch:
+            controller._notify(stats)
+
+    for controller, batch in zip(controllers, notifications):
+        half = len(batch) // 2
+        threads.append(threading.Thread(
+            target=pump, args=(controller, batch[:half])))
+        threads.append(threading.Thread(
+            target=pump, args=(controller, batch[half:])))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestSteeringIsolation:
+    def test_windows_seen_and_latest_are_per_controller(self):
+        a = SteeringController()
+        b = SteeringController()
+        _interleave(
+            [a, b],
+            [[_stats(i) for i in range(40)],
+             [_stats(i) for i in range(24)]])
+        assert a.windows_seen == 40
+        assert b.windows_seen == 24
+
+    def test_stop_on_one_leaves_the_other_running(self):
+        a = SteeringController()
+        b = SteeringController()
+        a.stop()
+        assert a.stop_requested
+        assert not b.stop_requested
+        # b keeps accepting windows after a stopped
+        assert b._notify(_stats(0)) is True
+
+    def test_stop_after_callbacks_do_not_cross(self):
+        a = SteeringController()
+        b = SteeringController()
+        a._on_progress = a.stop_after(5)
+        b._on_progress = b.stop_after(15)
+        _interleave(
+            [a, b],
+            [[_stats(i) for i in range(20)],
+             [_stats(i) for i in range(20)]])
+        assert a.stop_requested and b.stop_requested
+        # each stopped at its own threshold, not the other's
+        assert a.windows_seen == 20 and b.windows_seen == 20
+
+    def test_attached_schedulers_stay_per_controller(self):
+        class FakeScheduler:
+            pass
+
+        a, b = SteeringController(), SteeringController()
+        sched_a, sched_b = FakeScheduler(), FakeScheduler()
+        a.attach_scheduler(sched_a)
+        b.attach_scheduler(sched_b)
+        assert a.scheduler is sched_a
+        assert b.scheduler is sched_b
+
+
+class TestAdaptiveIsolation:
+    def test_convergence_watermarks_do_not_pool_across_controllers(self):
+        """Controller A sees tight statistics (should stop), B sees
+        noisy ones (should keep running) -- interleaved notifications
+        must not mix their pooled moments."""
+        a = AdaptiveController([ConvergenceStopPolicy(0.05,
+                                                      min_windows=2)])
+        b = AdaptiveController([ConvergenceStopPolicy(0.05,
+                                                      min_windows=2)])
+        tight = [_stats(i, mean=10.0, variance=1e-6) for i in range(6)]
+        noisy = [_stats(i, mean=10.0, variance=1e4) for i in range(6)]
+        _interleave([a, b], [tight, noisy])
+        assert a.stop_requested, "tight run should have converged"
+        assert a.stop_window is not None
+        assert not b.stop_requested, "noisy run must keep going"
+        assert b.stop_window is None
+
+    def test_trace_counters_drain_per_controller(self):
+        a = AdaptiveController([ConvergenceStopPolicy(0.05,
+                                                      min_windows=1)])
+        b = AdaptiveController([ConvergenceStopPolicy(0.05,
+                                                      min_windows=1)])
+        for i in range(3):
+            a._notify(_stats(i, variance=1e-6))
+        counters_a = dict(a.drain_counters())
+        counters_b = dict(b.drain_counters())
+        assert counters_a.get("adapt.stops") == 1
+        assert "adapt.stops" not in counters_b
+        # draining is destructive only for its own controller
+        assert a.drain_counters() == []
+
+    def test_windows_seen_reset_isolated_between_runs(self):
+        """svc_init-style reuse: resetting one controller's counters
+        (fresh run) must not clear a live sibling's."""
+        a = AdaptiveController([ConvergenceStopPolicy(0.05,
+                                                      min_windows=1)])
+        b = AdaptiveController([ConvergenceStopPolicy(0.05,
+                                                      min_windows=1)])
+        for i in range(4):
+            a._notify(_stats(i, variance=1e4))
+            b._notify(_stats(i, variance=1e4))
+        a.reset()
+        assert a.windows_seen == 0
+        assert b.windows_seen == 4
+
+
+class TestInterleavedWorkflows:
+    @pytest.mark.slow
+    def test_two_adaptive_runs_in_one_process_stop_independently(
+            self, neurospora_small):
+        """The end-to-end version: two steered workflows share the
+        process (as service tenants do).  The tight-threshold run stops
+        early; the loose one runs to plan; both produce the same
+        windows they produce alone."""
+        def run_one(threshold, out):
+            config = WorkflowConfig(
+                n_simulations=8, t_end=40.0, sample_every=0.5,
+                quantum=2.0, window_size=10, seed=3,
+                adaptive_ci=threshold, adaptive_min_windows=2)
+            controller = make_adaptive_controller(config)
+            result = run_workflow(neurospora_small, config,
+                                  controller=controller)
+            out[threshold] = (controller.stop_window,
+                              [w.window_index for w in result.windows])
+
+        solo: dict = {}
+        run_one(5.0, solo)       # very loose: stops almost immediately
+        run_one(1e-12, solo)     # unreachably tight: runs to plan
+
+        paired: dict = {}
+        threads = [threading.Thread(target=run_one, args=(th, paired))
+                   for th in (5.0, 1e-12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+
+        assert paired == solo
+        loose_stop, loose_windows = paired[5.0]
+        tight_stop, tight_windows = paired[1e-12]
+        assert loose_stop is not None
+        assert tight_stop is None
+        assert len(loose_windows) < len(tight_windows)

@@ -1,0 +1,130 @@
+"""Stride scheduler: proportional share, joins, and starvation-freedom."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.service.fairshare import StrideScheduler
+
+
+def _run(sched, ready, n):
+    picks = Counter()
+    for _ in range(n):
+        picks[sched.select(ready)] += 1
+    return picks
+
+
+class TestSelection:
+    def test_empty_ready_returns_none(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        assert sched.select([]) is None
+
+    def test_unknown_keys_in_ready_are_ignored(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        assert sched.select(["ghost", "a"]) == "a"
+        assert sched.select(["ghost"]) is None
+
+    def test_equal_weights_alternate(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        sched.add("b")
+        picks = [sched.select(["a", "b"]) for _ in range(10)]
+        assert picks.count("a") == 5
+        assert picks.count("b") == 5
+        # strict alternation: after a's pick, a's pass exceeds b's
+        assert all(picks[i] != picks[i + 1] for i in range(9))
+
+    def test_weights_give_proportional_share(self):
+        sched = StrideScheduler()
+        sched.add("heavy", weight=3.0)
+        sched.add("light", weight=1.0)
+        picks = _run(sched, ["heavy", "light"], 400)
+        # 3:1 tickets -> 300:100 service (integer stride rounding may
+        # shift a pick or two at the margin)
+        assert abs(picks["heavy"] - 300) <= 2
+        assert picks["heavy"] + picks["light"] == 400
+
+    def test_only_ready_tenant_wins_regardless_of_pass(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        sched.add("b")
+        for _ in range(50):
+            assert sched.select(["a"]) == "a"
+        # b never ran, so b is picked as soon as it becomes ready
+        assert sched.select(["a", "b"]) == "b"
+
+
+class TestDynamicMembership:
+    def test_late_joiner_starts_at_global_pass(self):
+        """A tenant joining mid-stream must not monopolise the fleet to
+        'catch up' on time before it existed."""
+        sched = StrideScheduler()
+        sched.add("old")
+        for _ in range(1000):
+            sched.select(["old"])
+        sched.add("new")
+        picks = _run(sched, ["old", "new"], 100)
+        assert abs(picks["old"] - picks["new"]) <= 1
+
+    def test_remove_and_readd_resets_cleanly(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        sched.add("b")
+        _run(sched, ["a", "b"], 10)
+        sched.remove("a")
+        assert "a" not in sched
+        assert sched.select(["a", "b"]) == "b"
+        sched.add("a")  # same key, new registration
+        picks = _run(sched, ["a", "b"], 100)
+        assert abs(picks["a"] - picks["b"]) <= 1
+
+    def test_remove_is_idempotent(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        sched.remove("a")
+        sched.remove("a")
+        assert sched.tenants() == []
+
+    def test_duplicate_add_rejected(self):
+        sched = StrideScheduler()
+        sched.add("a")
+        with pytest.raises(KeyError):
+            sched.add("a")
+
+    def test_nonpositive_weight_rejected(self):
+        sched = StrideScheduler()
+        with pytest.raises(ValueError):
+            sched.add("a", weight=0)
+
+
+class TestAccounting:
+    def test_lag_orders_tenants_by_service_owed(self):
+        """lag is 0 for the most-owed tenant and negative for tenants
+        served ahead of the fair-share floor."""
+        sched = StrideScheduler()
+        sched.add("served")
+        sched.add("waiting")
+        for _ in range(20):
+            sched.select(["served"])
+        assert sched.lag("waiting") == 0
+        assert sched.lag("served") < 0
+        assert sched.lag("waiting") > sched.lag("served")
+        with pytest.raises(KeyError):
+            sched.lag("ghost")
+
+    def test_snapshot_exposes_pass_and_weight(self):
+        """Pass values are reported relative to the active floor."""
+        sched = StrideScheduler()
+        sched.add("a", weight=2.0)
+        sched.add("b")
+        sched.select(["a", "b"])  # tie broken toward a (registered first)
+        snap = sched.snapshot()
+        assert snap["a"]["weight"] == 2.0
+        assert snap["a"]["pass"] > 0
+        assert snap["b"]["pass"] == 0
+        assert snap["a"]["selections"] == 1
+        assert snap["b"]["selections"] == 0
