@@ -176,6 +176,12 @@ def main(argv=None) -> int:
     parser.add_argument("--assert-reduction", type=float, default=None,
                         help="fail unless pickled-bytes-per-quantum "
                              "shrink by at least this factor")
+    parser.add_argument("--assert-roundtrip", type=float, default=0.9,
+                        help="with --assert-reduction: fail unless the "
+                             "v2 encode+decode roundtrip rate is at "
+                             "least this fraction of v1's (guards "
+                             "against decode regressions hiding behind "
+                             "the byte counts)")
     args = parser.parse_args(argv)
 
     results = make_quantum(args.n_traj, args.samples, args.n_obs)
@@ -218,6 +224,13 @@ def main(argv=None) -> int:
                 print(f"FAIL: {axis} reduction {value:.1f}x < "
                       f"{args.assert_reduction:.1f}x", file=sys.stderr)
                 failed = True
+        # byte counts alone can mask a slow decode path: the v2 frames
+        # must also roundtrip at (near) v1 speed
+        if frames["roundtrip_speedup"] < args.assert_roundtrip:
+            print(f"FAIL: v2 wire roundtrip "
+                  f"{frames['roundtrip_speedup']:.2f}x of v1 < "
+                  f"{args.assert_roundtrip:.2f}x floor", file=sys.stderr)
+            failed = True
         if failed:
             return 1
     return 0

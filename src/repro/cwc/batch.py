@@ -30,7 +30,8 @@ resampled on the next call -- the same argument
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Sequence, Union
+import threading
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -225,20 +226,33 @@ class CompiledNetwork:
             return np.full(X.shape[0], h)
         return h.astype(np.float64, copy=False)
 
-    def propensities_T(self, X: np.ndarray) -> np.ndarray:
+    def propensities_T(self, X: np.ndarray,
+                       rates_rows: Optional[np.ndarray] = None
+                       ) -> np.ndarray:
         """The ``(n_reactions, n_trajectories)`` propensity matrix at the
         batched state ``X``.
 
         Transposed layout: each reaction's values are contiguous, which
         makes both the assembly here and the cumulative-sum reaction
         selection of the lockstep loop stride-1 operations.
+
+        ``rates_rows`` (optional, ``(n_trajectories, n_reactions)``)
+        overrides the mass-action rate constants *per row* -- the fused
+        sweep plane packs many parameter points into one batch, each row
+        carrying its point's constants.  An elementwise multiply with
+        identical operand values is the same IEEE-754 operation as the
+        scalar broadcast, so a row whose constants equal the compiled
+        ones produces bit-identical propensities.  Functional rate laws
+        are not per-row parameterised (sweeps vary mass-action constants
+        only); their rows ignore ``rates_rows``.
         """
         out = np.empty((self.n_reactions, X.shape[0]))
         for j in range(self.n_reactions):
             if j in self._functional_set:
                 continue
-            np.multiply(self._rates[j], self._combinatorics(X, j),
-                        out=out[j])
+            rate = (self._rates[j] if rates_rows is None
+                    else rates_rows[:, j])
+            np.multiply(rate, self._combinatorics(X, j), out=out[j])
         for j, law in self._functional:
             value = law(X)
             # functional rates give the full propensity; the reactant list
@@ -249,10 +263,97 @@ class CompiledNetwork:
             out[j] = value
         return out
 
-    def propensities(self, X: np.ndarray) -> np.ndarray:
+    def propensities(self, X: np.ndarray,
+                     rates_rows: Optional[np.ndarray] = None) -> np.ndarray:
         """The ``(n_trajectories, n_reactions)`` propensity matrix at
         the batched state ``X``."""
-        return self.propensities_T(X).T
+        return self.propensities_T(X, rates_rows).T
+
+    def rates_for(self, overrides: "dict[str, float] | None" = None
+                  ) -> np.ndarray:
+        """One row of mass-action rate constants with named reactions
+        overridden (the per-point row of a fused sweep's ``rates_rows``).
+
+        Functional-law reactions cannot be overridden -- their rate is
+        not a constant (:meth:`ReactionNetwork.with_rates` enforces the
+        same rule for solo runs).
+        """
+        row = self._rates.copy()
+        if overrides:
+            by_name = {r.name: j for j, r in
+                       enumerate(self.network.reactions)}
+            for name, value in overrides.items():
+                j = by_name.get(name)
+                if j is None:
+                    raise KeyError(f"unknown reaction {name!r}")
+                if j in self._functional_set:
+                    raise ValueError(
+                        f"reaction {name!r} has a functional rate law; "
+                        "only mass-action constants can be swept")
+                row[j] = float(value)
+        return row
+
+
+# ---------------------------------------------------------------------------
+# process-level compiled-network cache
+# ---------------------------------------------------------------------------
+
+#: compiled networks memoized by content hash; bounded FIFO so a service
+#: cycling through many distinct models cannot grow it without limit
+_COMPILE_CACHE_CAP = 128
+_compile_cache: "dict[str, CompiledNetwork]" = {}
+_compile_lock = threading.Lock()
+_compile_stats = {"hits": 0, "misses": 0, "uncacheable": 0}
+
+
+def compile_network(network: Union[ReactionNetwork, "CompiledNetwork"]
+                    ) -> "CompiledNetwork":
+    """Compile ``network``, memoized per process by content hash.
+
+    Repeated compilations of content-identical networks (every
+    ``POST /runs`` of the same model, every point of a parameter sweep
+    re-using the base network) return the one shared
+    :class:`CompiledNetwork` -- safe because compiled networks are
+    immutable after construction and every simulator treats them as
+    read-only.  Networks with opaque callable rate laws have no content
+    hash and compile fresh each time.  Thread-safe (the service compiles
+    from concurrent tenant threads).
+    """
+    if isinstance(network, CompiledNetwork):
+        return network
+    key = network.fingerprint()
+    if key is None:
+        with _compile_lock:
+            _compile_stats["uncacheable"] += 1
+        return CompiledNetwork(network)
+    with _compile_lock:
+        cached = _compile_cache.get(key)
+        if cached is not None:
+            _compile_stats["hits"] += 1
+            return cached
+    compiled = CompiledNetwork(network)  # compile outside the lock
+    with _compile_lock:
+        _compile_stats["misses"] += 1
+        if key not in _compile_cache:
+            while len(_compile_cache) >= _COMPILE_CACHE_CAP:
+                _compile_cache.pop(next(iter(_compile_cache)))
+            _compile_cache[key] = compiled
+        return _compile_cache[key]
+
+
+def network_cache_stats() -> dict[str, int]:
+    """A snapshot of the compile cache counters (hits / misses /
+    uncacheable)."""
+    with _compile_lock:
+        return dict(_compile_stats)
+
+
+def clear_network_cache() -> None:
+    """Drop every memoized compilation and zero the counters (tests)."""
+    with _compile_lock:
+        _compile_cache.clear()
+        for key in _compile_stats:
+            _compile_stats[key] = 0
 
 
 class BatchFlatSimulator:
@@ -268,7 +369,9 @@ class BatchFlatSimulator:
 
     def __init__(self, network: Union[ReactionNetwork, CompiledNetwork],
                  n_trajectories: int, seed: Optional[int] = None,
-                 kernel: str = "numpy"):
+                 kernel: str = "numpy",
+                 row_rates: Optional[np.ndarray] = None,
+                 rng_streams: Optional[Sequence[tuple[int, Any]]] = None):
         if n_trajectories < 1:
             raise ValueError(
                 f"need >= 1 trajectory, got {n_trajectories}")
@@ -284,7 +387,41 @@ class BatchFlatSimulator:
         #: trajectories whose total propensity hit zero (the state can no
         #: longer change, so exhaustion is permanent)
         self.exhausted = np.zeros(n_trajectories, dtype=bool)
-        self.rng = np.random.default_rng(seed)
+        #: per-row mass-action rate constants, ``(n, n_reactions)`` --
+        #: the fused sweep plane's parameter axis (None: every row uses
+        #: the compiled constants, the historical single-point behaviour)
+        if row_rates is not None:
+            row_rates = np.ascontiguousarray(row_rates, dtype=np.float64)
+            expected = (n_trajectories, self.compiled.n_reactions)
+            if row_rates.shape != expected:
+                raise ValueError(
+                    f"row_rates shape {row_rates.shape} != {expected}")
+        self.row_rates = row_rates
+        # RNG streams: by default one generator drives the whole block
+        # (bit-compatible with every pre-sweep run).  ``rng_streams``
+        # splits the block into consecutive row groups, each drawing from
+        # its own generator in the solo block's phase order -- the
+        # discipline that makes a fused multi-point block bit-identical,
+        # per point, to the solo runs it replaces.
+        if rng_streams is None:
+            self.rng = np.random.default_rng(seed)
+            self._streams: list[np.random.Generator] = [self.rng]
+            self._stream_of: Optional[np.ndarray] = None
+        else:
+            sizes = [int(size) for size, _ in rng_streams]
+            if any(size < 1 for size in sizes):
+                raise ValueError("every rng stream needs >= 1 row")
+            if sum(sizes) != n_trajectories:
+                raise ValueError(
+                    f"rng streams cover {sum(sizes)} rows, "
+                    f"block has {n_trajectories}")
+            self._streams = [
+                s if isinstance(s, np.random.Generator)
+                else np.random.default_rng(s)
+                for _, s in rng_streams]
+            self._stream_of = np.repeat(
+                np.arange(len(sizes), dtype=np.int64), sizes)
+            self.rng = self._streams[0]
         #: inner-loop kernel name ("numpy" keeps the inline vectorised
         #: expressions; "numba"/"cupy" route the three hot computations
         #: through repro.cwc.kernels).  Every RNG draw stays right here
@@ -361,12 +498,14 @@ class BatchFlatSimulator:
         tw = self.times[active].copy()
         trg = targets[active]
         new_steps = np.zeros(active.size, dtype=np.int64)
+        rr = None if self.row_rates is None else self.row_rates[active]
+        rs = None if self._stream_of is None else self._stream_of[active]
         stoich = self.compiled.stoich.astype(np.float64)
         n_reactions = self.compiled.n_reactions
 
         def retire(done: np.ndarray, exhausted: bool = False):
             """Write retired rows back; compact the working arrays."""
-            nonlocal active, X, tw, trg, new_steps
+            nonlocal active, X, tw, trg, new_steps, rr, rs
             idx = active[done]
             self.counts[idx] = X[done].astype(np.int64)
             self.times[idx] = targets[idx]
@@ -376,6 +515,10 @@ class BatchFlatSimulator:
             keep = ~done
             active, X, tw = active[keep], X[keep], tw[keep]
             trg, new_steps = trg[keep], new_steps[keep]
+            if rr is not None:
+                rr = rr[keep]
+            if rs is not None:
+                rs = rs[keep]
             return keep
 
         kernel = self._kernel
@@ -383,10 +526,10 @@ class BatchFlatSimulator:
             # (n_reactions, m) cumulative propensities: the running sums
             # drive reaction selection and their last row is the totals
             if kernel is None:
-                cumulative = np.cumsum(self.compiled.propensities_T(X),
+                cumulative = np.cumsum(self.compiled.propensities_T(X, rr),
                                        axis=0)
             else:
-                cumulative = kernel.propensities_cumsum_T(X)
+                cumulative = kernel.propensities_cumsum_T(X, rr)
             totals = cumulative[-1]
 
             dead = totals <= 0.0
@@ -397,7 +540,7 @@ class BatchFlatSimulator:
                 cumulative = cumulative[:, keep]
                 totals = cumulative[-1]
 
-            taus = self.rng.exponential(1.0, size=active.size) / totals
+            taus = self._draw(rs, active.size, False) / totals
             new_times = tw + taus
             over = new_times >= trg
             if over.any():
@@ -410,7 +553,7 @@ class BatchFlatSimulator:
                 totals = cumulative[-1]
                 new_times = new_times[keep]
 
-            picks = self.rng.random(active.size) * totals
+            picks = self._draw(rs, active.size, True) * totals
             if kernel is None:
                 chosen = (cumulative < picks[None, :]).sum(axis=0)
                 # numerical slack: never index past the last reaction
@@ -422,6 +565,33 @@ class BatchFlatSimulator:
             tw = new_times
             new_steps += 1
         return self.times
+
+    def _draw(self, rs: Optional[np.ndarray], m: int,
+              uniform: bool) -> np.ndarray:
+        """One phase's random draws for the ``m`` active rows.
+
+        Single-stream blocks draw once from ``self.rng`` (the historical
+        call, bit-compatible).  Multi-stream blocks draw each group's
+        values from its own generator: ``rs`` (the active rows' stream
+        ids) stays sorted under the keep-compaction of ``retire``, so
+        each group is one contiguous span and receives exactly the
+        array its solo block would have drawn at this phase -- same
+        generator, same call, same size.
+        """
+        if rs is None:
+            return (self.rng.random(m) if uniform
+                    else self.rng.exponential(1.0, size=m))
+        draws = np.empty(m)
+        bounds = np.searchsorted(
+            rs, np.arange(len(self._streams) + 1))
+        for s, rng in enumerate(self._streams):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if hi > lo:
+                if uniform:
+                    draws[lo:hi] = rng.random(hi - lo)
+                else:
+                    draws[lo:hi] = rng.exponential(1.0, size=hi - lo)
+        return draws
 
     # ------------------------------------------------------------------
     # observation

@@ -144,6 +144,46 @@ def _propensities_cumsum_T(rates, indptr, cols, needs, facts, func_index,
             out[j, i] = out[j, i] + out[j - 1, i]
 
 
+def _propensities_cumsum_T_rows(rates_rows, indptr, cols, needs, facts,
+                                func_index, func_values, X, out) -> None:
+    """:func:`_propensities_cumsum_T` with per-row mass-action rate
+    constants (``rates_rows[i, j]`` replaces ``rates[j]``) -- the fused
+    sweep plane's kernel.  Same operations in the same order otherwise,
+    so a row whose constants equal the scalar ones is bit-identical."""
+    n_reactions = out.shape[0]
+    m = out.shape[1]
+    for j in range(n_reactions):
+        k = func_index[j]
+        if k >= 0:
+            # functional law, evaluated outside: gate on availability
+            for i in range(m):
+                value = func_values[k, i]
+                for p in range(indptr[j], indptr[j + 1]):
+                    if X[i, cols[p]] < needs[p]:
+                        value = 0.0
+                        break
+                out[j, i] = value
+        else:
+            for i in range(m):
+                h = 1.0
+                for p in range(indptr[j], indptr[j + 1]):
+                    n = X[i, cols[p]]
+                    need = needs[p]
+                    if need == 1:
+                        h = h * n
+                    elif need == 2:
+                        h = h * (n * (n - 1) * 0.5)
+                    else:
+                        term = n
+                        for d in range(1, need):
+                            term = term * (n - d)
+                        h = h * (term / facts[p])
+                out[j, i] = rates_rows[i, j] * h
+    for j in range(1, n_reactions):
+        for i in range(m):
+            out[j, i] = out[j, i] + out[j - 1, i]
+
+
 def _select_events(cumulative, picks, n_reactions, out) -> None:
     """Cumulative-sum inversion: ``out[i]`` counts the running sums
     strictly below ``picks[i]``, clipped to the last reaction."""
@@ -184,8 +224,11 @@ class NumpyKernel:
     def __init__(self, compiled) -> None:
         self.compiled = compiled
 
-    def propensities_cumsum_T(self, X: np.ndarray) -> np.ndarray:
-        return np.cumsum(self.compiled.propensities_T(X), axis=0)
+    def propensities_cumsum_T(self, X: np.ndarray,
+                              rates_rows: "np.ndarray | None" = None
+                              ) -> np.ndarray:
+        return np.cumsum(self.compiled.propensities_T(X, rates_rows),
+                         axis=0)
 
     def select_events(self, cumulative: np.ndarray,
                       picks: np.ndarray) -> np.ndarray:
@@ -198,11 +241,11 @@ class NumpyKernel:
         X += stoich[chosen]
 
 
-_NUMBA_CACHE: Optional[tuple[Callable, Callable, Callable]] = None
+_NUMBA_CACHE: Optional[tuple[Callable, Callable, Callable, Callable]] = None
 
 
-def _numba_kernels() -> tuple[Callable, Callable, Callable]:
-    """Compile (once per process) the three loops with numba.
+def _numba_kernels() -> tuple[Callable, Callable, Callable, Callable]:
+    """Compile (once per process) the four loops with numba.
 
     ``fastmath`` stays off and no parallelisation is requested: the JIT
     must execute the same IEEE-754 operations in the same order as the
@@ -221,7 +264,7 @@ def _numba_kernels() -> tuple[Callable, Callable, Callable]:
             "(pip install 'repro[numba]')") from exc
     jit = njit(cache=True, fastmath=False, nogil=True)
     _NUMBA_CACHE = (jit(_propensities_cumsum_T), jit(_select_events),
-                    jit(_apply_stoich))
+                    jit(_apply_stoich), jit(_propensities_cumsum_T_rows))
     return _NUMBA_CACHE
 
 
@@ -231,12 +274,15 @@ class NumbaKernel:
     name = "numba"
 
     def __init__(self, compiled) -> None:
-        self._props, self._select, self._apply = _numba_kernels()
+        (self._props, self._select, self._apply,
+         self._props_rows) = _numba_kernels()
         self.compiled = compiled
         self.plan = MassActionPlan(compiled)
         self._functional = compiled._functional
 
-    def propensities_cumsum_T(self, X: np.ndarray) -> np.ndarray:
+    def propensities_cumsum_T(self, X: np.ndarray,
+                              rates_rows: "np.ndarray | None" = None
+                              ) -> np.ndarray:
         m = X.shape[0]
         plan = self.plan
         if self._functional:
@@ -246,8 +292,14 @@ class NumbaKernel:
         else:
             func_values = np.empty((0, m))
         out = np.empty((plan.n_reactions, m))
-        self._props(plan.rates, plan.indptr, plan.cols, plan.needs,
-                    plan.facts, plan.func_index, func_values, X, out)
+        if rates_rows is None:
+            self._props(plan.rates, plan.indptr, plan.cols, plan.needs,
+                        plan.facts, plan.func_index, func_values, X, out)
+        else:
+            self._props_rows(
+                np.ascontiguousarray(rates_rows, dtype=np.float64),
+                plan.indptr, plan.cols, plan.needs, plan.facts,
+                plan.func_index, func_values, X, out)
         return out
 
     def select_events(self, cumulative: np.ndarray,
@@ -288,10 +340,13 @@ class CupyKernel:
         self._rates = cupy.asarray(self.plan.rates)
         self._stoich = None  # cached device copy, keyed by host id
 
-    def propensities_cumsum_T(self, X: np.ndarray) -> np.ndarray:
+    def propensities_cumsum_T(self, X: np.ndarray,
+                              rates_rows: "np.ndarray | None" = None
+                              ) -> np.ndarray:
         cp = self._cp
         compiled = self.compiled
         Xd = cp.asarray(X)
+        rates_d = None if rates_rows is None else cp.asarray(rates_rows)
         out = cp.empty((compiled.n_reactions, X.shape[0]))
         for j in range(compiled.n_reactions):
             k = self.plan.func_index[j]
@@ -310,7 +365,8 @@ class CupyKernel:
                     for d in range(1, need):
                         term = term * (n - d)
                     h = h * (term / self.plan.facts[p])
-            out[j] = self._rates[j] * h
+            rate = self._rates[j] if rates_d is None else rates_d[:, j]
+            out[j] = rate * h
         for j, law in self._functional:
             value = cp.asarray(law(X))  # closures are host-side numpy
             for p in range(self.plan.indptr[j], self.plan.indptr[j + 1]):

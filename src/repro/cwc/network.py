@@ -10,6 +10,7 @@ behaviourally identical fast path (:func:`ReactionNetwork.from_model`).
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass
@@ -62,6 +63,31 @@ def _rate_law_reads(rate) -> Optional[set[str]]:
                     return None
                 sides |= reads
         return sides
+    return None
+
+
+def _rate_token(rate) -> Optional[str]:
+    """A canonical string for a rate law, or ``None`` when the law is an
+    opaque callable (its behaviour cannot be captured by content).
+
+    The picklable law classes of :mod:`repro.cwc.rates` are frozen
+    dataclasses whose reprs list every parameter deterministically, so
+    their repr *is* their content.
+    """
+    if not callable(rate):
+        return f"k={float(rate)!r}"
+    from repro.cwc import rates
+
+    if isinstance(rate, rates.Product):
+        left = _rate_token(rate.left)
+        right = _rate_token(rate.right)
+        if left is None or right is None:
+            return None
+        return f"product({left},{right})"
+    if isinstance(rate, (rates.Constant, rates.Linear,
+                         rates.HillRepression, rates.HillActivation,
+                         rates.MichaelisMenten)):
+        return repr(rate)
     return None
 
 
@@ -155,6 +181,70 @@ class ReactionNetwork:
         if unknown:
             raise ValueError(f"unknown observables: {sorted(unknown)}")
         self._dependencies: Optional[tuple[tuple[int, ...], ...]] = None
+        self._fingerprint: Optional[str] = None
+        self._fingerprinted = False
+
+    def fingerprint(self) -> Optional[str]:
+        """A content hash of the network, or ``None`` when any rate law
+        is an opaque callable (uncacheable: behaviour not captured by
+        content).
+
+        Covers everything compilation depends on -- species, initial
+        counts, observables, and each reaction's stoichiometry and rate
+        law (volume scaling ``omega`` is already baked into the rate
+        constants by the model builders, so two networks built at
+        different omegas hash differently).  The process-level compiled
+        network cache (:func:`repro.cwc.batch.compile_network`) keys on
+        this.
+        """
+        if self._fingerprinted:
+            return self._fingerprint
+        parts = [self.name,
+                 ",".join(f"{s}={self.initial.get(s, 0)}"
+                          for s in self.species),
+                 "obs:" + ",".join(self.observables)]
+        for reaction in self.reactions:
+            token = _rate_token(reaction.rate)
+            if token is None:
+                self._fingerprinted = True
+                return None
+            parts.append(f"{reaction.name}|{reaction.reactants!r}|"
+                         f"{reaction.products!r}|{token}")
+        digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+        self._fingerprint = digest
+        self._fingerprinted = True
+        return digest
+
+    def with_rates(self, overrides: Mapping[str, float]
+                   ) -> "ReactionNetwork":
+        """A copy of this network with named reactions' mass-action rate
+        constants replaced (the solo-run form of one sweep point).
+
+        Only numeric (mass-action) rates can be overridden -- a sweep
+        varies rate constants, and functional laws do not reduce to one.
+        Raises ``KeyError`` for unknown reaction names and ``ValueError``
+        for functional-rate targets.
+        """
+        known = {r.name for r in self.reactions}
+        unknown = set(overrides) - known
+        if unknown:
+            raise KeyError(
+                f"unknown reactions in rate overrides: {sorted(unknown)}")
+        reactions = []
+        for reaction in self.reactions:
+            if reaction.name in overrides:
+                if callable(reaction.rate):
+                    raise ValueError(
+                        f"reaction {reaction.name!r} has a functional "
+                        "rate law; only mass-action constants can be "
+                        "swept")
+                reactions.append(Reaction(
+                    reaction.name, reaction.reactants, reaction.products,
+                    float(overrides[reaction.name])))
+            else:
+                reactions.append(reaction)
+        return ReactionNetwork(self.name, dict(self.initial), reactions,
+                               self.observables)
 
     def reaction_dependencies(self) -> tuple[tuple[int, ...], ...]:
         """The Gibson-Bruck dependency graph: ``deps[j]`` lists the

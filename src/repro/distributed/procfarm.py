@@ -25,7 +25,7 @@ from repro.ff.trace import Tracer
 from repro.pipeline.builder import WorkflowResult, build_workflow
 from repro.pipeline.config import WorkflowConfig
 from repro.pipeline.steering import SteeringController
-from repro.sim.task import BatchSimulationTask, SimulationTask
+from repro.sim.task import BatchSimulationTask, ResultBlock, SimulationTask
 
 
 def _run_quantum(task):
@@ -84,8 +84,11 @@ class ProcessSimEngineNode(Node):
         steps = updated.steps - steps_before
         retired = 0
         for result in results:
+            # a coalescing batch task retires all members at once
+            n_done = (result.n_members if isinstance(result, ResultBlock)
+                      else 1)
             if result.done:
-                retired += 1
+                retired += n_done
             if len(result) or result.done:
                 self.ff_send_out(result)
             else:

@@ -44,7 +44,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.sim.task import QuantumResult
+from repro.sim.task import QuantumResult, ResultBlock
 
 #: every segment name starts with this; the per-run prefix appends the
 #: master pid and a random token (see :func:`make_prefix`)
@@ -218,6 +218,39 @@ class ShmEntry:
          self.times_offset, self.values_offset, self.n, self.n_obs) = state
 
 
+class ShmCoalescedEntry:
+    """Descriptor of one :class:`~repro.sim.task.ResultBlock` whose
+    ``times`` / ``values`` arrays live in the segment.  The per-member
+    end times and step counters are small (one scalar per member) and
+    ride inline as tuples."""
+
+    __slots__ = ("task_ids", "grid_start", "done", "end_times",
+                 "member_steps", "times_offset", "values_offset",
+                 "n_grid", "n_obs")
+
+    def __init__(self, task_ids, grid_start, done, end_times, member_steps,
+                 times_offset, values_offset, n_grid, n_obs):
+        self.task_ids = task_ids
+        self.grid_start = grid_start
+        self.done = done
+        self.end_times = end_times
+        self.member_steps = member_steps
+        self.times_offset = times_offset
+        self.values_offset = values_offset
+        self.n_grid = n_grid
+        self.n_obs = n_obs
+
+    def __getstate__(self):
+        return (self.task_ids, self.grid_start, self.done, self.end_times,
+                self.member_steps, self.times_offset, self.values_offset,
+                self.n_grid, self.n_obs)
+
+    def __setstate__(self, state):
+        (self.task_ids, self.grid_start, self.done, self.end_times,
+         self.member_steps, self.times_offset, self.values_offset,
+         self.n_grid, self.n_obs) = state
+
+
 class ShmBlock:
     """The picklable message a worker returns for one quantum: inline
     results interleaved (in original order) with :class:`ShmEntry`
@@ -268,12 +301,19 @@ def publish_results(results: list[QuantumResult],
     total = 0
     shareable = []
     for result in results:
-        if result._samples is None and result._n:
+        if isinstance(result, ResultBlock):
+            if not len(result):
+                continue  # bare done marker: rides inline
             times = np.ascontiguousarray(result._times, dtype=np.float64)
             values = np.ascontiguousarray(result._values, dtype=np.float64)
-            shareable.append((result, times, values))
-            total = _aligned(total + times.nbytes)
-            total = _aligned(total + values.nbytes)
+        elif result._samples is None and result._n:
+            times = np.ascontiguousarray(result._times, dtype=np.float64)
+            values = np.ascontiguousarray(result._values, dtype=np.float64)
+        else:
+            continue
+        shareable.append((result, times, values))
+        total = _aligned(total + times.nbytes)
+        total = _aligned(total + values.nbytes)
     if total < SHM_MIN_BYTES:
         return ShmBlock(None, 0, list(results))
 
@@ -300,10 +340,17 @@ def publish_results(results: list[QuantumResult],
             v_off = offset
             _copy_into(shm, v_off, values)
             offset = _aligned(v_off + values.nbytes)
-            entries.append(ShmEntry(
-                result.task_id, result.time, result.steps, result.done,
-                result.grid_start, t_off, v_off,
-                values.shape[0], values.shape[1]))
+            if isinstance(result, ResultBlock):
+                entries.append(ShmCoalescedEntry(
+                    result.task_ids, result.grid_start, result.done,
+                    tuple(float(t) for t in result._end_times),
+                    tuple(int(s) for s in result._steps),
+                    t_off, v_off, result.n_grid, values.shape[2]))
+            else:
+                entries.append(ShmEntry(
+                    result.task_id, result.time, result.steps, result.done,
+                    result.grid_start, t_off, v_off,
+                    values.shape[0], values.shape[1]))
     except BaseException:
         shm.close()
         try:
@@ -326,11 +373,26 @@ def map_results(block: ShmBlock) -> list[QuantumResult]:
     """
     if block.name is None:
         return [e for e in block.entries]
-    n_mapped = sum(1 for e in block.entries if isinstance(e, ShmEntry))
+    n_mapped = sum(1 for e in block.entries
+                   if isinstance(e, (ShmEntry, ShmCoalescedEntry)))
     shm = shared_memory.SharedMemory(name=block.name)
     segment = Segment(shm, refs=n_mapped)
     results: list[QuantumResult] = []
     for entry in block.entries:
+        if isinstance(entry, ShmCoalescedEntry):
+            n_members = len(entry.task_ids)
+            times = np.ndarray((entry.n_grid,), np.float64,
+                               buffer=shm.buf, offset=entry.times_offset)
+            values = np.ndarray((n_members, entry.n_grid, entry.n_obs),
+                                np.float64, buffer=shm.buf,
+                                offset=entry.values_offset)
+            coalesced = ResultBlock(
+                entry.task_ids, entry.grid_start, times, values,
+                np.array(entry.end_times),
+                np.array(entry.member_steps, dtype=np.int64), entry.done)
+            coalesced.attach_segment(segment)
+            results.append(coalesced)
+            continue
         if not isinstance(entry, ShmEntry):
             results.append(entry)
             continue

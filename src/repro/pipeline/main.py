@@ -98,6 +98,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="re-key the simulation backlog laggards-"
                              "first on every analysed window (adaptive "
                              "mid-run re-prioritisation)")
+    parser.add_argument("--sweep", metavar="SPEC_JSON", default=None,
+                        help="run a parameter sweep instead of a single "
+                             "workflow: path to a JSON spec with either "
+                             "a 'points' list (reaction -> rate "
+                             "overrides per point) or a 'grid' mapping "
+                             "(reaction -> list of values, cartesian "
+                             "product), plus optional n_trajectories / "
+                             "seed / points_per_block")
+    parser.add_argument("--sweep-store", metavar="DIR", default=None,
+                        help="persist the sweep's per-point summary "
+                             "matrices as a mmap-able columnar store "
+                             "(one (point, cut) .npy per observable)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-window progress lines")
     parser.add_argument("--trace", action="store_true",
@@ -126,9 +138,58 @@ def parse_adaptive_spec(spec: str) -> tuple[float, bool]:
     return threshold, kind == "ci"
 
 
+def run_sweep_cli(args, model) -> int:
+    """The ``--sweep`` path: fused sweep run + optional columnar store."""
+    import json
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    try:
+        payload = json.loads(
+            open(args.sweep).read() if args.sweep != "-"
+            else sys.stdin.read())
+        spec = SweepSpec.from_dict(payload)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: bad --sweep spec: {exc}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        result = run_sweep(model, spec, t_end=args.t_end,
+                           quantum=args.quantum,
+                           sample_every=args.sample_every,
+                           n_sim_workers=args.sim_workers,
+                           engine_kernel=args.engine_kernel,
+                           trace=args.trace)
+    except (KernelUnavailable, NodeError) as exc:
+        original = getattr(exc, "original", exc)
+        if not isinstance(original, (KernelUnavailable, KeyError,
+                                     ValueError)):
+            raise
+        print(f"error: {original}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    print(f"sweep: {spec.n_points} points x {spec.n_trajectories} "
+          f"trajectories, {result.n_cuts} cuts, {elapsed:.2f}s wall-clock")
+    if not args.quiet:
+        for i, name in enumerate(result.observable_names):
+            final = result.mean[:, -1, i]
+            print(f"final mean [{name}]: min={final.min():.2f} "
+                  f"max={final.max():.2f} across points")
+    if result.trace_report is not None:
+        print()
+        print(result.trace_report.to_text())
+    if args.sweep_store:
+        from repro.pipeline.storage import save_sweep_store
+        path = save_sweep_store(result, args.sweep_store)
+        print(f"sweep store written to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     model = _MODELS[args.model](args.omega)
+    if args.sweep is not None:
+        return run_sweep_cli(args, model)
     adaptive_ci, adaptive_relative = None, True
     if args.adaptive is not None:
         try:

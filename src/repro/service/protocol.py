@@ -40,6 +40,7 @@ from repro.models import (
     toggle_switch_network,
 )
 from repro.pipeline.config import WorkflowConfig
+from repro.sweep.spec import SweepSpec
 
 
 class ProtocolError(ValueError):
@@ -83,6 +84,10 @@ class RunSpec:
     weight: float = 1.0
     max_inflight: Optional[int] = None
     label: str = ""
+    #: a parameter sweep instead of a single run: the fused sweep plane
+    #: executes it over the same fleet (``POST /runs`` with a ``sweep``
+    #: object -- points list or grid, n_trajectories, seed)
+    sweep: Optional[SweepSpec] = None
 
     @classmethod
     def from_jsonable(cls, payload: Any) -> "RunSpec":
@@ -117,12 +122,22 @@ class RunSpec:
             max_inflight = int(max_inflight)
             if max_inflight < 1:
                 raise ProtocolError("max_inflight must be >= 1")
+        sweep_payload = payload.get("sweep")
+        sweep = None
+        if sweep_payload is not None:
+            if not isinstance(sweep_payload, dict):
+                raise ProtocolError("sweep must be a JSON object")
+            try:
+                sweep = SweepSpec.from_dict(sweep_payload)
+            except (TypeError, ValueError, KeyError) as exc:
+                raise ProtocolError(f"bad sweep spec: {exc}") from exc
         return cls(model=model,
                    omega=float(payload.get("omega", 100.0)),
                    config=config,
                    weight=weight,
                    max_inflight=max_inflight,
-                   label=str(payload.get("label", "")))
+                   label=str(payload.get("label", "")),
+                   sweep=sweep)
 
     def build_model(self):
         return MODEL_FACTORIES[self.model](self.omega)

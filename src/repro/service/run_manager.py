@@ -69,6 +69,7 @@ class RunHandle:
         self.started_monotonic: Optional[float] = None
         self.elapsed_s: Optional[float] = None
         self.windows: list = []
+        self.sweep_result = None  # SweepResult for sweep specs
         self.shm_prefix: Optional[str] = None
 
         self._lock = threading.Lock()
@@ -134,6 +135,8 @@ class RunHandle:
             "error": self.error,
             "stop_window": getattr(self.controller, "stop_window", None),
             "stop_reason": getattr(self.controller, "stop_reason", ""),
+            "sweep_points": (self.spec.sweep.n_points
+                             if self.spec.sweep is not None else None),
         }
         if fleet is not None:
             status["fleet"] = fleet.tenant_stats(self.run_id)
@@ -195,16 +198,45 @@ class RunManager:
             handle.shm_prefix = make_prefix(tag=run_id) if use_shm else None
             client = self.fleet.client(run_id, weight=spec.weight,
                                        max_inflight=spec.max_inflight)
-            workflow = build_workflow(
-                model, spec.config, controller=handle.controller,
-                engine_factory=lambda i: ProcessSimEngineNode(
-                    client, name=f"{run_id}-eng-{i}",
-                    shm_prefix=handle.shm_prefix))
-            handle.state = RunState.RUNNING
-            handle.started_monotonic = time.monotonic()
-            windows = ff_run(workflow, backend="threads",
-                             trace=handle.tracer)
-            handle.windows = windows
+            engine_factory = lambda i: ProcessSimEngineNode(  # noqa: E731
+                client, name=f"{run_id}-eng-{i}",
+                shm_prefix=handle.shm_prefix)
+            if spec.sweep is not None:
+                from repro.sweep import run_sweep
+                cfg = spec.config
+                handle.state = RunState.RUNNING
+                handle.started_monotonic = time.monotonic()
+                result = run_sweep(
+                    model, spec.sweep, t_end=cfg.t_end,
+                    quantum=cfg.quantum, sample_every=cfg.sample_every,
+                    n_sim_workers=cfg.n_sim_workers,
+                    engine_kernel=cfg.engine_kernel,
+                    tracer=handle.tracer,
+                    engine_factory=engine_factory,
+                    stop_requested=lambda:
+                        handle.controller.stop_requested)
+                handle.sweep_result = result
+                handle.publish({
+                    "type": "sweep",
+                    "run_id": run_id,
+                    "n_points": result.n_points,
+                    "n_cuts": result.n_cuts,
+                    "observables": list(result.observable_names),
+                    # cancelled sweeps leave unreached cuts NaN; ship
+                    # null instead (strict JSON has no NaN)
+                    "times": [t if t == t else None
+                              for t in result.times.tolist()],
+                    "final_mean": result.mean[:, -1, :].tolist(),
+                })
+            else:
+                workflow = build_workflow(
+                    model, spec.config, controller=handle.controller,
+                    engine_factory=engine_factory)
+                handle.state = RunState.RUNNING
+                handle.started_monotonic = time.monotonic()
+                windows = ff_run(workflow, backend="threads",
+                                 trace=handle.tracer)
+                handle.windows = windows
             handle.state = (RunState.CANCELLED if handle.cancel_requested
                             else RunState.DONE)
         except BaseException as exc:  # noqa: BLE001 - reported to tenant

@@ -30,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ff.node import GO_ON, Node
-from repro.sim.task import QuantumResult
+from repro.sim.task import QuantumResult, ResultBlock
 from repro.sim.trajectory import Cut, CutBlock
 
 
@@ -168,6 +168,14 @@ class TrajectoryAligner(Node):
                 self._counts = counts
 
     def svc(self, result: QuantumResult):
+        if isinstance(result, ResultBlock):
+            # coalesced block: ingest each member view through the normal
+            # path (the views are columnar and in-order, so they take the
+            # fast regime), then give the segment back once copied
+            for member in result.unpack():
+                self.svc(member)
+            result.release()
+            return GO_ON
         if not isinstance(result, QuantumResult):
             raise TypeError(
                 f"aligner received {type(result).__name__}, "
@@ -377,6 +385,11 @@ class ScalarTrajectoryAligner(Node):
         self.max_buffered = 0
 
     def svc(self, result: QuantumResult):
+        if isinstance(result, ResultBlock):
+            for member in result.unpack():
+                self.svc(member)
+            result.release()
+            return GO_ON
         if not isinstance(result, QuantumResult):
             raise TypeError(
                 f"aligner received {type(result).__name__}, "

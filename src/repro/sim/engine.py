@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Union
 
 from repro.ff.node import GO_ON, Node
-from repro.sim.task import BatchSimulationTask, SimulationTask
+from repro.sim.task import BatchSimulationTask, ResultBlock, SimulationTask
 
 
 class SimEngineNode(Node):
@@ -34,14 +34,21 @@ class SimEngineNode(Node):
         self.quanta_executed += 1
         steps = task.steps - steps_before
         self.steps_executed += steps
-        # a batch task yields one QuantumResult per member trajectory
-        results = outcome if isinstance(outcome, list) else [outcome]
+        # a batch task yields one QuantumResult per member trajectory; a
+        # coalescing batch task yields one ResultBlock for the whole block
         retired = 0
-        for result in results:
-            if result.done:
-                retired += 1
-            if len(result) or result.done:
-                self.ff_send_out(result)
+        if isinstance(outcome, ResultBlock):
+            if outcome.done:
+                retired = outcome.n_members
+            if len(outcome) or outcome.done:
+                self.ff_send_out(outcome)
+        else:
+            results = outcome if isinstance(outcome, list) else [outcome]
+            for result in results:
+                if result.done:
+                    retired += 1
+                if len(result) or result.done:
+                    self.ff_send_out(result)
         self.trace_incr("sim.steps", steps)
         self.trace_incr("sim.quanta", 1)
         if retired:

@@ -50,11 +50,17 @@ class TaskGenerator(SourceNode):
         self.engine_kernel = engine_kernel
 
     def generate(self) -> Iterable[SimulationTask]:
-        return iter(make_tasks(self.model, self.n_simulations, self.t_end,
-                               self.quantum, self.sample_every,
-                               seed=self.seed, engine=self.engine,
-                               batch_size=self.batch_size,
-                               engine_kernel=self.engine_kernel))
+        from repro.cwc.batch import network_cache_stats
+        hits_before = network_cache_stats()["hits"]
+        tasks = make_tasks(self.model, self.n_simulations, self.t_end,
+                           self.quantum, self.sample_every,
+                           seed=self.seed, engine=self.engine,
+                           batch_size=self.batch_size,
+                           engine_kernel=self.engine_kernel)
+        hits = network_cache_stats()["hits"] - hits_before
+        if hits:
+            self.trace_incr("sim.network_cache_hits", hits)
+        return iter(tasks)
 
 
 class SimTaskEmitter(MasterWorkerEmitter):

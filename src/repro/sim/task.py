@@ -26,7 +26,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.cwc.batch import BatchFlatSimulator, CompiledNetwork
+from repro.cwc.batch import BatchFlatSimulator, CompiledNetwork, \
+    compile_network
 from repro.cwc.gillespie import CWCSimulator
 from repro.cwc.model import Model
 from repro.cwc.network import FlatSimulator, ReactionNetwork
@@ -193,6 +194,113 @@ class QuantumResult:
                 f"t={self.time:.3g} done={self.done}>")
 
 
+class ResultBlock:
+    """One quantum's samples for a *whole* lockstep block, coalesced.
+
+    A batch task advancing ``m`` member trajectories produces ``m``
+    per-member :class:`QuantumResult` objects per quantum; on the wire
+    that is ``m`` frames (or shm ring entries), each carrying a copy of
+    the same shared grid times.  A ``ResultBlock`` carries the identical
+    information as *one* message: the member task ids, the shared
+    ``times`` vector, one member-major ``(n_members, n_grid,
+    n_observables)`` ``values`` array, and the per-member end
+    times/step counters.  Because the lockstep engine stops every member
+    at the same quantum boundary, ``done`` is a single flag.
+
+    Downstream code treats a block like a result: ``len(block)`` is the
+    total sample count (so the engines' ``len(r) or r.done`` forwarding
+    filter works unchanged) and :meth:`unpack` yields per-member
+    :class:`QuantumResult` *views* (no copies) for consumers that ingest
+    member-wise, e.g. the aligner.  ``attach_segment`` / :meth:`release`
+    mirror :class:`QuantumResult`'s shared-memory lifecycle; the member
+    views returned by :meth:`unpack` never own the segment, the block
+    does.
+    """
+
+    __slots__ = ("task_ids", "grid_start", "done", "_times", "_values",
+                 "_end_times", "_steps", "_segment")
+
+    def __init__(self, task_ids: Sequence[int], grid_start: int,
+                 times: np.ndarray, values: np.ndarray,
+                 end_times: np.ndarray, steps: np.ndarray, done: bool):
+        self.task_ids = tuple(task_ids)
+        self.grid_start = int(grid_start)
+        self.done = bool(done)
+        self._times = np.asarray(times, dtype=float)
+        self._values = np.asarray(values, dtype=float)
+        self._end_times = np.asarray(end_times, dtype=float)
+        self._steps = np.asarray(steps, dtype=np.int64)
+        if self._values.shape[0] != len(self.task_ids):
+            raise ValueError(
+                f"values has {self._values.shape[0]} member rows for "
+                f"{len(self.task_ids)} task ids")
+        if self._values.shape[1] != len(self._times):
+            raise ValueError(
+                f"values has {self._values.shape[1]} grid points for "
+                f"{len(self._times)} times")
+        self._segment = None
+
+    @property
+    def n_members(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def n_grid(self) -> int:
+        return len(self._times)
+
+    @property
+    def steps(self) -> int:
+        """Total SSA steps across the block (cost accounting)."""
+        return int(self._steps.sum())
+
+    def __len__(self) -> int:
+        """Total sample count across members (0 for a bare done marker)."""
+        return self._values.shape[0] * self._values.shape[1]
+
+    def unpack(self):
+        """Yield per-member columnar :class:`QuantumResult` views.
+
+        The views alias this block's arrays: ingest (copy) them before
+        calling :meth:`release`, exactly as with shm-backed results.
+        """
+        times = self._times
+        values = self._values
+        for i, task_id in enumerate(self.task_ids):
+            yield QuantumResult(task_id, None,
+                                float(self._end_times[i]),
+                                int(self._steps[i]), self.done,
+                                grid_start=self.grid_start,
+                                times=times, values=values[i])
+
+    # -- shared-memory lifecycle (mirrors QuantumResult) ----------------
+    def attach_segment(self, segment) -> None:
+        self._segment = segment
+
+    def release(self) -> None:
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            self._times = None
+            self._values = None
+            self._end_times = None
+            self._steps = None
+            segment.release()
+
+    # -- pickling: arrays ship out-of-band under protocol 5 -------------
+    def __getstate__(self):
+        return (self.task_ids, self.grid_start, self.done, self._times,
+                self._values, self._end_times, self._steps)
+
+    def __setstate__(self, state):
+        (self.task_ids, self.grid_start, self.done, self._times,
+         self._values, self._end_times, self._steps) = state
+        self._segment = None
+
+    def __repr__(self) -> str:
+        return (f"<ResultBlock members={self.n_members} "
+                f"grid={self.grid_start}+{self.n_grid} "
+                f"done={self.done}>")
+
+
 class SimulationTask:
     """One trajectory to simulate up to ``t_end``; see module docstring."""
 
@@ -278,7 +386,8 @@ class BatchSimulationTask:
     """
 
     def __init__(self, task_ids: Sequence[int], batch: BatchFlatSimulator,
-                 t_end: float, quantum: float, sample_every: float):
+                 t_end: float, quantum: float, sample_every: float,
+                 coalesce: bool = False):
         if quantum <= 0 or sample_every <= 0 or t_end <= 0:
             raise ValueError("t_end, quantum and sample_every must be > 0")
         if len(task_ids) != batch.n:
@@ -289,6 +398,10 @@ class BatchSimulationTask:
         self.t_end = t_end
         self.quantum = quantum
         self.sample_every = sample_every
+        #: return one ResultBlock per quantum instead of per-member
+        #: QuantumResults: many small member payloads travel as one
+        #: frame / shm segment (the sweep plane's wire format)
+        self.coalesce = coalesce
         self._next_grid = 0  # shared: members advance in lockstep
 
     @property
@@ -316,13 +429,17 @@ class BatchSimulationTask:
     def n_samples_total(self) -> int:
         return int(round(self.t_end / self.sample_every)) + 1
 
-    def run_quantum(self) -> list[QuantumResult]:
+    def run_quantum(self) -> Union[list[QuantumResult], ResultBlock]:
         """Advance the whole block by one quantum and sample on the grid.
 
         The block is driven from grid point to grid point (one vectorized
         ``advance_to`` per grid crossing), exactly like the scalar task.
+        Returns a per-member list of :class:`QuantumResult`, or one
+        :class:`ResultBlock` when ``coalesce`` is set.
         """
         if self.done:
+            if self.coalesce:
+                return self._coalesced(0, np.empty(0), None, True)
             return [QuantumResult(task_id, [], float(self.batch.times[i]),
                                   int(self.batch.steps[i]), True)
                     for i, task_id in enumerate(self.task_ids)]
@@ -345,12 +462,19 @@ class BatchSimulationTask:
             self.batch.advance_to(np.full(self.n, target))
         done = self.done
         if not rows:
+            if self.coalesce:
+                return self._coalesced(grid_start, np.empty(0), None, done)
             return [QuantumResult(task_id, [], float(self.batch.times[i]),
                                   int(self.batch.steps[i]), done)
                     for i, task_id in enumerate(self.task_ids)]
         # (n_grid, n, n_obs): the quantum's samples, columnar end-to-end
         block = np.stack(rows)
         times_arr = np.array(grid_times)
+        if self.coalesce:
+            # one member-major copy; members stay views into it downstream
+            return self._coalesced(
+                grid_start, times_arr,
+                np.ascontiguousarray(block.transpose(1, 0, 2)), done)
         return [QuantumResult(task_id, None,
                               float(self.batch.times[i]),
                               int(self.batch.steps[i]), done,
@@ -358,6 +482,15 @@ class BatchSimulationTask:
                               times=times_arr,
                               values=np.ascontiguousarray(block[:, i, :]))
                 for i, task_id in enumerate(self.task_ids)]
+
+    def _coalesced(self, grid_start: int, times: np.ndarray,
+                   values: Optional[np.ndarray], done: bool) -> ResultBlock:
+        if values is None:
+            n_obs = len(self.batch.compiled.observable_columns)
+            values = np.empty((self.n, 0, n_obs))
+        return ResultBlock(self.task_ids, grid_start, times, values,
+                           self.batch.times.copy(),
+                           self.batch.steps.copy(), done)
 
     def __repr__(self) -> str:
         return (f"<BatchSimulationTask ids={self.task_ids[0]}.."
@@ -369,7 +502,8 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
                seed: Optional[int] = 0,
                engine: str = "auto",
                batch_size: int = 64,
-               engine_kernel: str = "numpy") -> list[SimulationTask]:
+               engine_kernel: str = "numpy",
+               coalesce: bool = False) -> list[SimulationTask]:
     """Create tasks covering ``n_simulations`` trajectories of ``model``.
 
     ``engine`` selects the simulator: ``"flat"`` (plain Gillespie; requires
@@ -387,7 +521,8 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
         return make_batch_tasks(model, n_simulations, t_end, quantum,
                                 sample_every, seed=seed,
                                 batch_size=batch_size,
-                                engine_kernel=engine_kernel)
+                                engine_kernel=engine_kernel,
+                                coalesce=coalesce)
     tasks = []
     for task_id in range(n_simulations):
         task_seed = None if seed is None else seed + task_id
@@ -401,16 +536,21 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
                      n_simulations: int, t_end: float, quantum: float,
                      sample_every: float, seed: Optional[int] = 0,
                      batch_size: int = 64,
-                     engine_kernel: str = "numpy"
+                     engine_kernel: str = "numpy",
+                     coalesce: bool = False
                      ) -> list[BatchSimulationTask]:
     """Group ``n_simulations`` trajectories into lockstep batch tasks.
 
     The network is compiled once and shared by every block (the compiled
-    matrices are immutable); each block draws from its own generator seeded
-    ``seed + first_task_id`` for reproducibility.  ``engine_kernel``
-    selects the inner-loop kernel (:mod:`repro.cwc.kernels`); seeds and
-    draw order are kernel-independent, so ``"numba"`` reproduces the
-    ``"numpy"`` trajectories bit for bit.
+    matrices are immutable) through the process-wide compile cache, so
+    repeated runs of the same model -- the service's per-RunSpec case and
+    every sweep point -- skip recompilation entirely; each block draws
+    from its own generator seeded ``seed + first_task_id`` for
+    reproducibility.  ``engine_kernel`` selects the inner-loop kernel
+    (:mod:`repro.cwc.kernels`); seeds and draw order are
+    kernel-independent, so ``"numba"`` reproduces the ``"numpy"``
+    trajectories bit for bit.  ``coalesce`` makes each block return one
+    :class:`ResultBlock` per quantum instead of per-member results.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -418,7 +558,7 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
         network = model
     else:
         network = ReactionNetwork.from_model(model)
-    compiled = CompiledNetwork(network)
+    compiled = compile_network(network)
     tasks = []
     for base in range(0, n_simulations, batch_size):
         ids = range(base, min(base + batch_size, n_simulations))
@@ -426,7 +566,7 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
         batch = BatchFlatSimulator(compiled, len(ids), seed=block_seed,
                                    kernel=engine_kernel)
         tasks.append(BatchSimulationTask(ids, batch, t_end, quantum,
-                                         sample_every))
+                                         sample_every, coalesce=coalesce))
     return tasks
 
 

@@ -1,0 +1,126 @@
+"""Sweep specifications: the parameter axis as data.
+
+A :class:`SweepSpec` names the points of a parameter sweep as per-point
+rate-constant overrides (reaction name -> new constant), plus how many
+trajectories each point runs and how the per-point RNG streams are
+seeded.  Point ``p`` behaves exactly like a solo ``engine="batch"`` run
+of ``network.with_rates(points[p])`` with seed ``seed + p`` and a single
+block -- the bit-identity contract the fused executor and the
+equivalence tests hold each other to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Mapping, Optional, Sequence
+
+#: default fused-block row budget: blocks take whole points until they
+#: would exceed this many (point, trajectory) rows
+DEFAULT_ROWS_PER_BLOCK = 4096
+
+
+@dataclass
+class SweepSpec:
+    """One sweep: ``points[p]`` maps reaction names to rate constants.
+
+    An empty mapping is a valid point (the base network unchanged), so a
+    pure replication sweep -- same model, many seeds -- is
+    ``SweepSpec([{}] * P)``.
+    """
+
+    points: Sequence[Mapping[str, float]]
+    n_trajectories: int = 64
+    seed: int = 0
+    #: points fused per block; ``None`` fits whole points into
+    #: :data:`DEFAULT_ROWS_PER_BLOCK` rows
+    points_per_block: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.points = [dict(p) for p in self.points]
+        if not self.points:
+            raise ValueError("a sweep needs at least one point")
+        if self.n_trajectories < 1:
+            raise ValueError("n_trajectories must be >= 1")
+        if self.points_per_block is not None and self.points_per_block < 1:
+            raise ValueError("points_per_block must be >= 1")
+
+    @classmethod
+    def grid(cls, axes: Mapping[str, Sequence[float]],
+             **kwargs) -> "SweepSpec":
+        """Cartesian product of per-reaction value axes, in the axes'
+        insertion order (last axis varies fastest)."""
+        if not axes:
+            raise ValueError("grid needs at least one axis")
+        names = list(axes)
+        points = [dict(zip(names, combo))
+                  for combo in product(*(axes[n] for n in names))]
+        return cls(points, **kwargs)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_rows(self) -> int:
+        """Total (point, trajectory) rows across the sweep."""
+        return self.n_points * self.n_trajectories
+
+    def seed_of(self, point: int) -> int:
+        """The solo-run seed of ``point`` (one block per solo run)."""
+        return self.seed + point
+
+    def resolved_points_per_block(self) -> int:
+        if self.points_per_block is not None:
+            return self.points_per_block
+        return max(1, DEFAULT_ROWS_PER_BLOCK // self.n_trajectories)
+
+    def blocks(self) -> Iterator[range]:
+        """Consecutive point ranges, one fused block each."""
+        step = self.resolved_points_per_block()
+        for p0 in range(0, self.n_points, step):
+            yield range(p0, min(p0 + step, self.n_points))
+
+    def validate(self, network) -> None:
+        """Fail fast on unknown reaction names or functional-rate
+        targets; raises ``KeyError`` / ``ValueError`` like
+        :meth:`~repro.cwc.network.ReactionNetwork.with_rates`."""
+        seen: set[tuple] = set()
+        for overrides in self.points:
+            key = tuple(sorted(overrides))
+            if key in seen:
+                continue
+            seen.add(key)
+            network.with_rates(overrides)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the service's sweep spec and the store
+        manifest both embed this)."""
+        return {
+            "points": [dict(p) for p in self.points],
+            "n_trajectories": self.n_trajectories,
+            "seed": self.seed,
+            "points_per_block": self.points_per_block,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`; also accepts ``{"grid": {...}}``
+        in place of an explicit point list."""
+        if "grid" in payload and "points" not in payload:
+            axes = payload["grid"]
+            if not isinstance(axes, Mapping):
+                raise ValueError("sweep grid must map reaction -> values")
+            return cls.grid(
+                axes,
+                n_trajectories=int(payload.get("n_trajectories", 64)),
+                seed=int(payload.get("seed", 0)),
+                points_per_block=payload.get("points_per_block"))
+        points = payload.get("points")
+        if not isinstance(points, Sequence) or isinstance(points, str):
+            raise ValueError("sweep spec needs a 'points' list or a 'grid'")
+        ppb = payload.get("points_per_block")
+        return cls([dict(p) for p in points],
+                   n_trajectories=int(payload.get("n_trajectories", 64)),
+                   seed=int(payload.get("seed", 0)),
+                   points_per_block=None if ppb is None else int(ppb))

@@ -22,6 +22,7 @@ from repro.cwc.kernels import (
     NumpyKernel,
     _apply_stoich,
     _propensities_cumsum_T,
+    _propensities_cumsum_T_rows,
     _select_events,
     available_kernels,
     kernel_available,
@@ -61,7 +62,7 @@ class PythonKernel(NumpyKernel):
         self.plan = MassActionPlan(compiled)
         self._functional = compiled._functional
 
-    def propensities_cumsum_T(self, X):
+    def propensities_cumsum_T(self, X, rates_rows=None):
         plan = self.plan
         m = X.shape[0]
         if self._functional:
@@ -71,9 +72,15 @@ class PythonKernel(NumpyKernel):
         else:
             func_values = np.empty((0, m))
         out = np.empty((plan.n_reactions, m))
-        _propensities_cumsum_T(plan.rates, plan.indptr, plan.cols,
-                               plan.needs, plan.facts, plan.func_index,
-                               func_values, X, out)
+        if rates_rows is None:
+            _propensities_cumsum_T(plan.rates, plan.indptr, plan.cols,
+                                   plan.needs, plan.facts, plan.func_index,
+                                   func_values, X, out)
+        else:
+            rows = np.ascontiguousarray(rates_rows, dtype=np.float64)
+            _propensities_cumsum_T_rows(rows, plan.indptr, plan.cols,
+                                        plan.needs, plan.facts,
+                                        plan.func_index, func_values, X, out)
         return out
 
     def select_events(self, cumulative, picks):

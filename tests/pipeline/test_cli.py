@@ -112,3 +112,36 @@ class TestMain:
         assert code == 0
         data = json.loads(path.read_text())
         assert data["counters"]["sim.trajectories_retired"] == 4
+
+
+class TestSweepCLI:
+    def test_sweep_run_with_store(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({
+            "grid": {"translation": [0.3, 0.7]},
+            "n_trajectories": 4, "seed": 1}))
+        store_dir = tmp_path / "store"
+        code = main(["--model", "neurospora", "--omega", "20",
+                     "--t-end", "2", "--quantum", "1",
+                     "--sample-every", "0.5", "--sim-workers", "2",
+                     "--sweep", str(spec_path),
+                     "--sweep-store", str(store_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 points x 4 trajectories" in out
+        assert "final mean [M]" in out
+
+        from repro.pipeline.storage import load_sweep_store
+        store = load_sweep_store(store_dir)
+        assert store.n_points == 2
+        assert store.matrix("M").shape == (2, 5)
+
+    def test_bad_sweep_spec_fails_cleanly(self, tmp_path, capsys):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text("{\"points\": \"nope\"}")
+        code = main(["--model", "neurospora",
+                     "--sweep", str(spec_path)])
+        assert code == 2
+        assert "bad --sweep spec" in capsys.readouterr().err

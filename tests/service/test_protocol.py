@@ -78,6 +78,41 @@ class TestRunSpec:
         assert spec.config.adaptive_species == (0, 1)
 
 
+class TestSweepSpec:
+    def test_points_form(self):
+        spec = RunSpec.from_jsonable({
+            "model": "neurospora",
+            "sweep": {"points": [{"translation": 0.2}, {}],
+                      "n_trajectories": 8, "seed": 3}})
+        assert spec.sweep is not None
+        assert spec.sweep.n_points == 2
+        assert spec.sweep.n_trajectories == 8
+        assert spec.sweep.seed == 3
+
+    def test_grid_form(self):
+        spec = RunSpec.from_jsonable({
+            "model": "neurospora",
+            "sweep": {"grid": {"translation": [0.2, 0.5, 0.8]},
+                      "n_trajectories": 4}})
+        assert spec.sweep.n_points == 3
+        assert spec.sweep.points[1] == {"translation": 0.5}
+
+    def test_absent_sweep_stays_none(self):
+        assert RunSpec.from_jsonable({"model": "toggle"}).sweep is None
+
+    def test_non_object_sweep_rejected(self):
+        with pytest.raises(ProtocolError, match="sweep must be"):
+            RunSpec.from_jsonable({"model": "toggle", "sweep": [1, 2]})
+
+    def test_malformed_sweep_rejected(self):
+        with pytest.raises(ProtocolError, match="bad sweep spec"):
+            RunSpec.from_jsonable({"model": "toggle",
+                                   "sweep": {"points": []}})
+        with pytest.raises(ProtocolError, match="bad sweep spec"):
+            RunSpec.from_jsonable({"model": "toggle",
+                                   "sweep": {"n_trajectories": 4}})
+
+
 class TestJSONBitExactness:
     def test_awkward_floats_round_trip(self):
         values = [0.1, 1 / 3, 1e-308, 1.7976931348623157e308,

@@ -1,0 +1,98 @@
+"""SweepSpec: points, grids, blocks, seeds and the JSON form."""
+
+import pytest
+
+from repro.sweep import SweepSpec
+from repro.sweep.spec import DEFAULT_ROWS_PER_BLOCK
+
+
+class TestConstruction:
+    def test_points_are_copied(self):
+        point = {"bind": 1.0}
+        spec = SweepSpec([point])
+        point["bind"] = 99.0
+        assert spec.points[0] == {"bind": 1.0}
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            SweepSpec([])
+
+    def test_bad_trajectory_count_rejected(self):
+        with pytest.raises(ValueError, match="n_trajectories"):
+            SweepSpec([{}], n_trajectories=0)
+
+    def test_bad_points_per_block_rejected(self):
+        with pytest.raises(ValueError, match="points_per_block"):
+            SweepSpec([{}], points_per_block=0)
+
+    def test_counts(self):
+        spec = SweepSpec([{}, {}, {}], n_trajectories=8)
+        assert spec.n_points == 3
+        assert spec.n_rows == 24
+
+
+class TestGrid:
+    def test_last_axis_varies_fastest(self):
+        spec = SweepSpec.grid({"a": [1.0, 2.0], "b": [10.0, 20.0]})
+        assert spec.points == [
+            {"a": 1.0, "b": 10.0}, {"a": 1.0, "b": 20.0},
+            {"a": 2.0, "b": 10.0}, {"a": 2.0, "b": 20.0}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepSpec.grid({})
+
+
+class TestSeedsAndBlocks:
+    def test_seed_of_is_solo_run_seed(self):
+        spec = SweepSpec([{}] * 4, seed=10)
+        assert [spec.seed_of(p) for p in range(4)] == [10, 11, 12, 13]
+
+    def test_blocks_cover_every_point_once(self):
+        spec = SweepSpec([{}] * 10, n_trajectories=2, points_per_block=3)
+        ranges = list(spec.blocks())
+        assert [list(r) for r in ranges] == [
+            [0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_default_block_fits_row_budget(self):
+        spec = SweepSpec([{}] * 1000, n_trajectories=64)
+        per_block = spec.resolved_points_per_block()
+        assert per_block == DEFAULT_ROWS_PER_BLOCK // 64
+        assert per_block * 64 <= DEFAULT_ROWS_PER_BLOCK
+
+    def test_huge_trajectory_count_still_one_point_per_block(self):
+        spec = SweepSpec([{}] * 3, n_trajectories=2 * DEFAULT_ROWS_PER_BLOCK)
+        assert spec.resolved_points_per_block() == 1
+
+
+class TestValidate:
+    def test_unknown_reaction_fails_fast(self, neurospora_small):
+        spec = SweepSpec([{"translation": 0.5}, {"no_such_reaction": 1.0}])
+        with pytest.raises((KeyError, ValueError)):
+            spec.validate(neurospora_small)
+
+    def test_valid_overrides_pass(self, neurospora_small):
+        SweepSpec([{"translation": 0.5}, {}]).validate(neurospora_small)
+
+
+class TestJsonForm:
+    def test_roundtrip(self):
+        spec = SweepSpec([{"a": 1.0}, {"a": 2.0}], n_trajectories=16,
+                         seed=7, points_per_block=1)
+        clone = SweepSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_grid_payload(self):
+        spec = SweepSpec.from_dict(
+            {"grid": {"a": [1.0, 2.0]}, "n_trajectories": 4, "seed": 3})
+        assert spec.points == [{"a": 1.0}, {"a": 2.0}]
+        assert spec.n_trajectories == 4
+        assert spec.seed == 3
+
+    def test_missing_points_rejected(self):
+        with pytest.raises(ValueError, match="'points' list or a 'grid'"):
+            SweepSpec.from_dict({"n_trajectories": 4})
+
+    def test_string_points_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec.from_dict({"points": "not-a-list"})

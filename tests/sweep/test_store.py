@@ -1,0 +1,77 @@
+"""The columnar sweep store: write, mmap back, mine rows."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pipeline.storage import (SWEEP_STORE_FORMAT, load_sweep_store,
+                                    save_sweep_store)
+from repro.sweep import SweepSpec
+from repro.sweep.runner import SweepResult
+
+
+def make_result(P=3, n_cuts=5, names=("M", "FC")):
+    rng = np.random.default_rng(0)
+    spec = SweepSpec([{"translation": 0.1 * (p + 1)} for p in range(P)],
+                     n_trajectories=4, seed=2)
+    return SweepResult(
+        spec=spec, observable_names=tuple(names),
+        times=np.arange(n_cuts) * 0.5,
+        mean=rng.random((P, n_cuts, len(names))),
+        variance=rng.random((P, n_cuts, len(names))))
+
+
+class TestRoundTrip:
+    def test_matrices_survive_exactly(self, tmp_path):
+        result = make_result()
+        store = load_sweep_store(save_sweep_store(result, tmp_path / "s"))
+        assert store.observables == ["M", "FC"]
+        assert store.n_points == 3 and store.n_cuts == 5
+        assert np.array_equal(store.times, result.times)
+        for i, name in enumerate(result.observable_names):
+            for stat in ("mean", "variance"):
+                assert np.array_equal(store.matrix(name, stat),
+                                      result.point_matrix(i, stat))
+
+    def test_matrices_are_memory_mapped(self, tmp_path):
+        store = load_sweep_store(
+            save_sweep_store(make_result(), tmp_path / "s"))
+        assert isinstance(store.matrix("M"), np.memmap)
+        assert store.matrix("M").flags["C_CONTIGUOUS"]
+
+    def test_point_row_access(self, tmp_path):
+        result = make_result()
+        store = load_sweep_store(save_sweep_store(result, tmp_path / "s"))
+        assert np.array_equal(store.point(1, "FC"),
+                              result.point_matrix("FC")[1])
+
+    def test_spec_survives_in_manifest(self, tmp_path):
+        result = make_result()
+        store = load_sweep_store(save_sweep_store(result, tmp_path / "s"))
+        assert SweepSpec.from_dict(store.spec_dict()) == result.spec
+
+
+class TestLayout:
+    def test_observable_names_are_sanitised(self, tmp_path):
+        result = make_result(names=("a/b", "c d"))
+        path = save_sweep_store(result, tmp_path / "s")
+        files = json.loads((path / "manifest.json").read_text())["files"]
+        assert files["a/b"]["mean"] == "a_b__mean.npy"
+        assert (path / "c_d__variance.npy").exists()
+        store = load_sweep_store(path)
+        assert np.array_equal(store.matrix("a/b"),
+                              result.point_matrix("a/b"))
+
+    def test_colliding_sanitised_names_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="collide"):
+            save_sweep_store(make_result(names=("a/b", "a_b")),
+                             tmp_path / "s")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = save_sweep_store(make_result(), tmp_path / "s")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format"] = SWEEP_STORE_FORMAT + 1
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            load_sweep_store(path)
