@@ -56,11 +56,23 @@ def main(argv=None) -> int:
     parser.add_argument("--assert-speedup", type=float, default=None,
                         help="fail unless every available JIT kernel "
                              "beats numpy by at least this factor")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KERNEL",
+                        help="fail (exit 1) if this kernel is not "
+                             "available; repeatable.  CI uses "
+                             "'--require numba' so a broken numba "
+                             "install fails the job instead of "
+                             "silently shipping a numpy-only artifact")
     args = parser.parse_args(argv)
 
     network = neurospora_network(omega=args.omega)
     kernels = [k for k in KERNEL_NAMES if kernel_available(k)]
     missing = [k for k in KERNEL_NAMES if k not in kernels]
+    required_missing = [k for k in args.require if k not in kernels]
+    if required_missing:
+        print(f"FAIL: required kernel(s) not available: "
+              f"{', '.join(required_missing)}", file=sys.stderr)
+        return 1
 
     # correctness gate: same seed => bit-identical states for every
     # kernel (the cupy kernel is excluded -- its device scan is not

@@ -183,6 +183,9 @@ class CompiledNetwork:
         self.observable_columns = np.array(
             [self.species_index[o] for o in network.observables],
             dtype=np.intp)
+        #: columns of species consumed by at least one reaction -- the
+        #: populations whose scale decides the hybrid leap/exact switch
+        self.reactant_columns = np.flatnonzero(self.order.any(axis=0))
 
     def __getstate__(self) -> dict:
         # the vectorized rate-law closures are not picklable; ship the
@@ -365,16 +368,61 @@ class BatchFlatSimulator:
     surface mirrors the scalar engines where it can (``advance``,
     ``observe``, ``run``) and adds batched variants (``observe_all``,
     ``run_all``).
+
+    ``method`` selects the stepping algorithm:
+
+    * ``"exact"`` (default) -- one reaction per lockstep iteration, the
+      historical bit-pinned direct-method path;
+    * ``"tau"`` -- tau-leaping (Gillespie 2001) with the
+      Cao-Gillespie-Petzold step-size bound: each iteration every row
+      either fires ``Poisson(a_j * tau)`` reactions in one leap or,
+      when its CGP tau is worth fewer than ``ssa_threshold`` expected
+      SSA steps, takes one exact step instead (the standard fallback);
+    * ``"hybrid"`` -- ``"tau"`` plus a population gate: a row leaps
+      only while *every* reactant species holds at least
+      ``pop_threshold`` copies, so small-count rows (or small-count
+      phases of one row) keep exact-SSA accuracy.
+
+    The two leap methods are *distribution-equivalent* to exact SSA
+    (epsilon-controlled), not bit-identical -- an inherent property of
+    the approximation, covered by KS tests instead of byte compares.
     """
+
+    #: rejected leaps halve tau and redraw at most this many times
+    #: before the row falls back to one exact SSA step
+    MAX_LEAP_ATTEMPTS = 12
+
+    #: stepping algorithms (mirrored by ``WorkflowConfig.METHODS`` minus
+    #: the scalar-only ``"first"``)
+    BATCH_METHODS = ("exact", "tau", "hybrid")
 
     def __init__(self, network: Union[ReactionNetwork, CompiledNetwork],
                  n_trajectories: int, seed: Optional[int] = None,
                  kernel: str = "numpy",
                  row_rates: Optional[np.ndarray] = None,
-                 rng_streams: Optional[Sequence[tuple[int, Any]]] = None):
+                 rng_streams: Optional[Sequence[tuple[int, Any]]] = None,
+                 method: str = "exact", epsilon: float = 0.03,
+                 ssa_threshold: float = 10.0,
+                 pop_threshold: float = 50.0):
         if n_trajectories < 1:
             raise ValueError(
                 f"need >= 1 trajectory, got {n_trajectories}")
+        if method not in self.BATCH_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; pick one of "
+                f"{', '.join(self.BATCH_METHODS)}")
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if ssa_threshold <= 0.0:
+            raise ValueError(
+                f"ssa_threshold must be > 0, got {ssa_threshold}")
+        if pop_threshold < 0.0:
+            raise ValueError(
+                f"pop_threshold must be >= 0, got {pop_threshold}")
+        self.method = method
+        self.epsilon = float(epsilon)
+        self.ssa_threshold = float(ssa_threshold)
+        self.pop_threshold = float(pop_threshold)
         if isinstance(network, CompiledNetwork):
             self.compiled = network
         else:
@@ -384,6 +432,10 @@ class BatchFlatSimulator:
         self.counts = np.tile(self.compiled.initial, (n_trajectories, 1))
         self.times = np.zeros(n_trajectories)
         self.steps = np.zeros(n_trajectories, dtype=np.int64)
+        #: per-trajectory committed leaps / exact fallback steps (leap
+        #: methods only; ``steps`` counts reaction *firings* either way)
+        self.leaps = np.zeros(n_trajectories, dtype=np.int64)
+        self.exact_steps = np.zeros(n_trajectories, dtype=np.int64)
         #: trajectories whose total propensity hit zero (the state can no
         #: longer change, so exhaustion is permanent)
         self.exhausted = np.zeros(n_trajectories, dtype=bool)
@@ -491,6 +543,8 @@ class BatchFlatSimulator:
                                   (self.n,)).copy()
         np.maximum(self.times, targets, out=targets)
         self.times[self.exhausted] = targets[self.exhausted]
+        if self.method != "exact":
+            return self._advance_to_leap(targets)
         active = np.flatnonzero(~self.exhausted & (self.times < targets))
         if not active.size:
             return self.times
@@ -565,6 +619,181 @@ class BatchFlatSimulator:
             tw = new_times
             new_steps += 1
         return self.times
+
+    def _advance_to_leap(self, targets: np.ndarray) -> np.ndarray:
+        """The tau/hybrid lockstep loop (``targets`` pre-clamped by
+        :meth:`advance_to`).
+
+        Same working-set discipline as the exact loop -- gather the
+        active rows once, compact on retirement -- but each iteration
+        splits the rows: rows whose CGP tau covers at least
+        ``ssa_threshold`` expected SSA steps (and, under ``"hybrid"``,
+        whose every reactant population is at or above
+        ``pop_threshold``) fire a whole ``Poisson(a_j * tau)`` leap;
+        the rest take one exact SSA step.  A leap that would drive any
+        population negative is rejected, its tau halved and redrawn, up
+        to :data:`MAX_LEAP_ATTEMPTS` times before falling back to an
+        exact step.  Leaps are clamped to the row's remaining time, so
+        quantum boundaries are honoured exactly like the exact path.
+        """
+        active = np.flatnonzero(~self.exhausted & (self.times < targets))
+        if not active.size:
+            return self.times
+        X = self.counts[active].astype(np.float64)
+        tw = self.times[active].copy()
+        trg = targets[active]
+        new_steps = np.zeros(active.size, dtype=np.int64)
+        new_leaps = np.zeros(active.size, dtype=np.int64)
+        new_exact = np.zeros(active.size, dtype=np.int64)
+        rr = None if self.row_rates is None else self.row_rates[active]
+        rs = None if self._stream_of is None else self._stream_of[active]
+        stoich = self.compiled.stoich.astype(np.float64)
+        n_reactions = self.compiled.n_reactions
+        rcols = self.compiled.reactant_columns
+        kernel = self._kernel
+        from repro.cwc.kernels import numpy_leap_fire, numpy_leap_tau
+
+        def retire(done: np.ndarray, exhausted: bool = False):
+            nonlocal active, X, tw, trg, new_steps, new_leaps, new_exact
+            nonlocal rr, rs
+            idx = active[done]
+            self.counts[idx] = X[done].astype(np.int64)
+            self.times[idx] = targets[idx]
+            self.steps[idx] += new_steps[done]
+            self.leaps[idx] += new_leaps[done]
+            self.exact_steps[idx] += new_exact[done]
+            if exhausted:
+                self.exhausted[idx] = True
+            keep = ~done
+            active, X, tw = active[keep], X[keep], tw[keep]
+            trg, new_steps = trg[keep], new_steps[keep]
+            new_leaps, new_exact = new_leaps[keep], new_exact[keep]
+            if rr is not None:
+                rr = rr[keep]
+            if rs is not None:
+                rs = rs[keep]
+            return keep
+
+        while active.size:
+            if kernel is None:
+                cumulative = np.cumsum(self.compiled.propensities_T(X, rr),
+                                       axis=0)
+            else:
+                cumulative = kernel.propensities_cumsum_T(X, rr)
+            totals = cumulative[-1]
+            dead = totals <= 0.0
+            if dead.any():
+                keep = retire(dead, exhausted=True)
+                if not active.size:
+                    break
+                cumulative = cumulative[:, keep]
+                totals = cumulative[-1]
+
+            # raw propensities back out of the running sums (tau is an
+            # approximation bound; no bit-pinning requirement here)
+            a = np.empty_like(cumulative)
+            a[0] = cumulative[0]
+            a[1:] = cumulative[1:] - cumulative[:-1]
+            if kernel is None:
+                tau_cgp = numpy_leap_tau(a, X, stoich, self.epsilon)
+            else:
+                tau_cgp = kernel.leap_tau(a, X, stoich, self.epsilon)
+            leap = tau_cgp * totals >= self.ssa_threshold
+            if self.method == "hybrid" and rcols.size:
+                leap &= X[:, rcols].min(axis=1) >= self.pop_threshold
+
+            retire_mask = np.zeros(active.size, dtype=bool)
+
+            def exact_step(sub: np.ndarray) -> None:
+                """One exact SSA step for the row subset ``sub``
+                (sorted, so per-stream draw groups stay contiguous)."""
+                taus = self._draw(None if rs is None else rs[sub],
+                                  sub.size, False) / totals[sub]
+                nt = tw[sub] + taus
+                over = nt >= trg[sub]
+                retire_mask[sub[over]] = True
+                go = sub[~over]
+                if not go.size:
+                    return
+                picks = self._draw(None if rs is None else rs[go],
+                                   go.size, True) * totals[go]
+                cum_go = np.ascontiguousarray(cumulative[:, go])
+                if kernel is None:
+                    chosen = (cum_go < picks[None, :]).sum(axis=0)
+                    np.clip(chosen, 0, n_reactions - 1, out=chosen)
+                    X[go] += stoich[chosen]
+                else:
+                    chosen = kernel.select_events(cum_go, picks)
+                    Xg = X[go]
+                    kernel.apply_stoich(Xg, stoich, chosen)
+                    X[go] = Xg
+                tw[go] = nt[~over]
+                new_steps[go] += 1
+                new_exact[go] += 1
+
+            exact_rows = np.flatnonzero(~leap)
+            if exact_rows.size:
+                exact_step(exact_rows)
+
+            pending = np.flatnonzero(leap)
+            if pending.size:
+                # clamp each leap to the row's remaining span so quantum
+                # boundaries are honoured (no residual to discard: the
+                # leap is a closed-interval update, not a waiting time)
+                ptau = np.minimum(tau_cgp[pending], trg[pending] - tw[pending])
+                for _attempt in range(self.MAX_LEAP_ATTEMPTS):
+                    lam = a[:, pending].T * ptau[:, None]
+                    fires = self._draw_poisson(
+                        None if rs is None else rs[pending], lam)
+                    Xp = X[pending]
+                    if kernel is None:
+                        ok = numpy_leap_fire(Xp, stoich, fires)
+                    else:
+                        ok = kernel.leap_fire(Xp, stoich, fires)
+                    X[pending] = Xp
+                    committed = pending[ok]
+                    if committed.size:
+                        tw[committed] += ptau[ok]
+                        new_steps[committed] += fires[ok].sum(
+                            axis=1).astype(np.int64)
+                        new_leaps[committed] += 1
+                        done = tw[committed] >= trg[committed] - 1e-12
+                        retire_mask[committed[done]] = True
+                    rej = ~ok
+                    if not rej.any():
+                        break
+                    pending = pending[rej]
+                    ptau = ptau[rej] * 0.5
+                else:
+                    # still rejecting after MAX_LEAP_ATTEMPTS halvings:
+                    # the state is effectively small-count, take one
+                    # exact step (propensities are still current -- the
+                    # rejected rows never committed a change)
+                    exact_step(pending)
+
+            if retire_mask.any():
+                retire(retire_mask)
+        return self.times
+
+    def _draw_poisson(self, rs_sub: Optional[np.ndarray],
+                      lam: np.ndarray) -> np.ndarray:
+        """Poisson firing counts for the pending leap rows.
+
+        ``lam`` is ``(k, n_reactions)``; returns integer-valued float64
+        (the dtype :func:`numpy_leap_fire` scatters exactly).  Stream
+        groups draw separately like :meth:`_draw`, so a fused block's
+        per-point streams stay independent under leaping too.
+        """
+        if rs_sub is None:
+            return self.rng.poisson(lam).astype(np.float64)
+        out = np.empty(lam.shape)
+        bounds = np.searchsorted(
+            rs_sub, np.arange(len(self._streams) + 1))
+        for s, rng in enumerate(self._streams):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if hi > lo:
+                out[lo:hi] = rng.poisson(lam[lo:hi])
+        return out
 
     def _draw(self, rs: Optional[np.ndarray], m: int,
               uniform: bool) -> np.ndarray:
@@ -646,7 +875,8 @@ class BatchFlatSimulator:
 def batch_simulator(model: Union[Model, ReactionNetwork],
                     n_trajectories: int,
                     seed: Optional[int] = None,
-                    kernel: str = "numpy") -> BatchFlatSimulator:
+                    kernel: str = "numpy",
+                    method: str = "exact") -> BatchFlatSimulator:
     """Build a batch simulator from a network or a compartment-free model
     (mirrors the ``engine="flat"`` coercion of ``make_tasks``)."""
     if isinstance(model, ReactionNetwork):
@@ -654,4 +884,4 @@ def batch_simulator(model: Union[Model, ReactionNetwork],
     else:
         network = ReactionNetwork.from_model(model)
     return BatchFlatSimulator(network, n_trajectories, seed=seed,
-                              kernel=kernel)
+                              kernel=kernel, method=method)

@@ -13,7 +13,12 @@ essentially all of its time in three deterministic array computations:
    change into the counts matrix.
 
 This module packages those three as *kernels* with a tiny common
-surface, selected by name (``engine_kernel`` in the workflow config):
+surface, selected by name (``engine_kernel`` in the workflow config).
+Tau-leaping (``method="tau"|"hybrid"``) adds two more primitives to the
+same surface: **leap_tau** (the per-row Cao-Gillespie-Petzold step-size
+bound from stoichiometry moments) and **leap_fire** (batched scatter of
+Poisson firing counts with negative-population rejection).  The Poisson
+draws themselves stay in Python, like every other random draw.
 
 * ``"numpy"`` -- the reference implementation, byte-for-byte the
   vectorised expressions the simulator always used.  Always available;
@@ -210,6 +215,122 @@ def _apply_stoich(X, stoich, chosen) -> None:
             X[i, s] = X[i, s] + stoich[row, s]
 
 
+def _leap_tau(a, X, stoich, epsilon, out) -> None:
+    """Per-row tau-leap candidate: Cao-Gillespie-Petzold step control.
+
+    For every trajectory row ``i`` the leap is bounded so no species'
+    expected change (``mu``) or change variance (``sigma^2``) exceeds
+    ``max(epsilon * x, 1)``: ``tau = min_s(bound/|mu_s|, bound^2 /
+    sigma2_s)``.  ``a`` is the *raw* ``(n_reactions, m)`` propensity
+    matrix, ``stoich`` the float ``(n_reactions, n_species)`` net
+    change.  Rows where nothing constrains the leap get ``inf``.
+    """
+    n_reactions = a.shape[0]
+    m = a.shape[1]
+    n_species = X.shape[1]
+    for i in range(m):
+        tau = np.inf
+        for s in range(n_species):
+            mu = 0.0
+            sig2 = 0.0
+            for j in range(n_reactions):
+                v = stoich[j, s]
+                if v != 0.0:
+                    mu = mu + v * a[j, i]
+                    sig2 = sig2 + (v * v) * a[j, i]
+            bound = epsilon * X[i, s]
+            if bound < 1.0:
+                bound = 1.0
+            if mu != 0.0:
+                t = bound / abs(mu)
+                if t < tau:
+                    tau = t
+            if sig2 > 0.0:
+                t = (bound * bound) / sig2
+                if t < tau:
+                    tau = t
+        out[i] = tau
+
+
+def _leap_fire(X, stoich, fires, ok) -> None:
+    """Apply one leap's Poisson firing counts row by row.
+
+    ``fires`` is the ``(m, n_reactions)`` float matrix of firing counts
+    (integer-valued).  A row whose new state would go negative is left
+    untouched and flagged ``ok[i] = False`` -- the caller halves that
+    row's tau and redraws (the standard rejection rule).  Counts,
+    stoichiometry and firing counts are all integer-valued doubles, so
+    every product and sum here is exact and any summation order gives
+    the same result.
+    """
+    m = X.shape[0]
+    n_species = X.shape[1]
+    n_reactions = stoich.shape[0]
+    row = np.empty(n_species)
+    for i in range(m):
+        good = True
+        for s in range(n_species):
+            acc = X[i, s]
+            for j in range(n_reactions):
+                k = fires[i, j]
+                if k != 0.0:
+                    acc = acc + k * stoich[j, s]
+            row[s] = acc
+            if acc < 0.0:
+                good = False
+        ok[i] = good
+        if good:
+            for s in range(n_species):
+                X[i, s] = row[s]
+
+
+# ---------------------------------------------------------------------------
+# numpy reference implementations of the leap primitives (the oracle the
+# jitted loops are tested against; also the inline path of the batch
+# simulator when no kernel object is selected)
+# ---------------------------------------------------------------------------
+
+def numpy_leap_tau(a: np.ndarray, X: np.ndarray, stoich: np.ndarray,
+                   epsilon: float) -> np.ndarray:
+    """Vectorized :func:`_leap_tau`: same IEEE-754 operations in the
+    same per-element order (species outer, reactions inner, mu-bound
+    before sigma-bound), so the plain loops reproduce it bit for bit."""
+    m = a.shape[1]
+    n_species = X.shape[1]
+    tau = np.full(m, np.inf)
+    for s in range(n_species):
+        mu = np.zeros(m)
+        sig2 = np.zeros(m)
+        for j in range(a.shape[0]):
+            v = stoich[j, s]
+            if v != 0.0:
+                mu += v * a[j]
+                sig2 += (v * v) * a[j]
+        bound = np.maximum(epsilon * X[:, s], 1.0)
+        with np.errstate(divide="ignore"):
+            t = bound / np.abs(mu)
+        t[mu == 0.0] = np.inf
+        np.minimum(tau, t, out=tau)
+        with np.errstate(divide="ignore"):
+            t = (bound * bound) / sig2
+        t[sig2 <= 0.0] = np.inf
+        np.minimum(tau, t, out=tau)
+    return tau
+
+
+def numpy_leap_fire(X: np.ndarray, stoich: np.ndarray,
+                    fires: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_leap_fire`: commits non-negative rows in
+    place, returns the per-row acceptance mask.  All operands are
+    integer-valued doubles, so the matmul matches the sequential loop
+    exactly (integer arithmetic in float64 is order-independent)."""
+    delta = fires @ stoich
+    new = X + delta
+    ok = (new >= 0.0).all(axis=1)
+    X[ok] = new[ok]
+    return ok
+
+
 # ---------------------------------------------------------------------------
 # backends
 # ---------------------------------------------------------------------------
@@ -240,12 +361,20 @@ class NumpyKernel:
                      chosen: np.ndarray) -> None:
         X += stoich[chosen]
 
+    def leap_tau(self, a: np.ndarray, X: np.ndarray, stoich: np.ndarray,
+                 epsilon: float) -> np.ndarray:
+        return numpy_leap_tau(a, X, stoich, epsilon)
 
-_NUMBA_CACHE: Optional[tuple[Callable, Callable, Callable, Callable]] = None
+    def leap_fire(self, X: np.ndarray, stoich: np.ndarray,
+                  fires: np.ndarray) -> np.ndarray:
+        return numpy_leap_fire(X, stoich, fires)
 
 
-def _numba_kernels() -> tuple[Callable, Callable, Callable, Callable]:
-    """Compile (once per process) the four loops with numba.
+_NUMBA_CACHE: Optional[tuple[Callable, ...]] = None
+
+
+def _numba_kernels() -> tuple[Callable, ...]:
+    """Compile (once per process) the six loops with numba.
 
     ``fastmath`` stays off and no parallelisation is requested: the JIT
     must execute the same IEEE-754 operations in the same order as the
@@ -264,7 +393,8 @@ def _numba_kernels() -> tuple[Callable, Callable, Callable, Callable]:
             "(pip install 'repro[numba]')") from exc
     jit = njit(cache=True, fastmath=False, nogil=True)
     _NUMBA_CACHE = (jit(_propensities_cumsum_T), jit(_select_events),
-                    jit(_apply_stoich), jit(_propensities_cumsum_T_rows))
+                    jit(_apply_stoich), jit(_propensities_cumsum_T_rows),
+                    jit(_leap_tau), jit(_leap_fire))
     return _NUMBA_CACHE
 
 
@@ -274,8 +404,8 @@ class NumbaKernel:
     name = "numba"
 
     def __init__(self, compiled) -> None:
-        (self._props, self._select, self._apply,
-         self._props_rows) = _numba_kernels()
+        (self._props, self._select, self._apply, self._props_rows,
+         self._leap_tau, self._leap_fire) = _numba_kernels()
         self.compiled = compiled
         self.plan = MassActionPlan(compiled)
         self._functional = compiled._functional
@@ -311,6 +441,18 @@ class NumbaKernel:
     def apply_stoich(self, X: np.ndarray, stoich: np.ndarray,
                      chosen: np.ndarray) -> None:
         self._apply(X, stoich, chosen)
+
+    def leap_tau(self, a: np.ndarray, X: np.ndarray, stoich: np.ndarray,
+                 epsilon: float) -> np.ndarray:
+        out = np.empty(a.shape[1])
+        self._leap_tau(np.ascontiguousarray(a), X, stoich, epsilon, out)
+        return out
+
+    def leap_fire(self, X: np.ndarray, stoich: np.ndarray,
+                  fires: np.ndarray) -> np.ndarray:
+        ok = np.empty(X.shape[0], dtype=np.bool_)
+        self._leap_fire(X, stoich, np.ascontiguousarray(fires), ok)
+        return ok
 
 
 class CupyKernel:
@@ -387,6 +529,25 @@ class CupyKernel:
     def apply_stoich(self, X: np.ndarray, stoich: np.ndarray,
                      chosen: np.ndarray) -> None:
         X += stoich[chosen]  # host-side: X lives in the loop's workspace
+
+    def leap_tau(self, a: np.ndarray, X: np.ndarray, stoich: np.ndarray,
+                 epsilon: float) -> np.ndarray:
+        cp = self._cp
+        ad = cp.asarray(a)
+        Xd = cp.asarray(X)
+        Sd = cp.asarray(stoich)
+        mu = Sd.T @ ad          # (n_species, m)
+        sig2 = (Sd * Sd).T @ ad
+        bound = cp.maximum(epsilon * Xd.T, 1.0)
+        with np.errstate(divide="ignore"):
+            t1 = cp.where(mu != 0.0, bound / cp.abs(mu), cp.inf)
+            t2 = cp.where(sig2 > 0.0, (bound * bound) / sig2, cp.inf)
+        return cp.asnumpy(cp.minimum(t1, t2).min(axis=0))
+
+    def leap_fire(self, X: np.ndarray, stoich: np.ndarray,
+                  fires: np.ndarray) -> np.ndarray:
+        # host-side like apply_stoich: X lives in the loop's workspace
+        return numpy_leap_fire(X, stoich, fires)
 
 
 _BACKENDS = {

@@ -24,12 +24,13 @@ like any other engine.
 from __future__ import annotations
 
 import math
-import random
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.cwc.batch import CompiledNetwork, compile_network
 from repro.cwc.gillespie import SSAResult
+from repro.cwc.kernels import numpy_leap_fire, numpy_leap_tau
 from repro.cwc.network import FlatSimulator, ReactionNetwork
 
 
@@ -67,110 +68,88 @@ class TauLeapSimulator:
     leap (smaller = more accurate, slower).  ``ssa_threshold`` switches
     to exact SSA steps when the selected leap is shorter than that many
     expected SSA steps (the standard hybrid rule).
+
+    State lives in a one-row batch matrix and propensities come from
+    :class:`~repro.cwc.batch.CompiledNetwork` -- the same vectorised
+    evaluators (and the same :func:`numpy_leap_tau` /
+    :func:`numpy_leap_fire` primitives) the batch engine uses, so this
+    scalar engine shares the compiled fast path instead of looping
+    ``reaction.propensity(...)`` per step.
     """
 
-    def __init__(self, network: ReactionNetwork, seed: Optional[int] = None,
+    def __init__(self,
+                 network: Union[ReactionNetwork, CompiledNetwork],
+                 seed: Optional[int] = None,
                  epsilon: float = 0.03, ssa_threshold: float = 10.0):
         if not 0.0 < epsilon < 1.0:
             raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
-        self.network = network
-        self.counts: dict[str, int] = dict(network.initial)
-        for species in network.species:
-            self.counts.setdefault(species, 0)
+        self.compiled = compile_network(network)
+        self.network = self.compiled.network
+        self._x = self.compiled.initial.astype(np.float64)[None, :].copy()
+        self._stoich = self.compiled.stoich.astype(np.float64)
         self.time = 0.0
         self.steps = 0       # reaction firings (sum of leap counts)
         self.leaps = 0
         self.exact_steps = 0
         self.epsilon = epsilon
         self.ssa_threshold = ssa_threshold
-        self.rng = random.Random(seed)
-        self._np_rng = np.random.default_rng(
-            seed if seed is not None else None)
-        self._exact = FlatSimulator(network, seed=seed)
-        self._exact.counts = self.counts  # share state
-        # net stoichiometry per reaction as dicts
-        self._net = []
-        for reaction in network.reactions:
-            net: dict[str, int] = {}
-            for s, c in reaction.reactants:
-                net[s] = net.get(s, 0) - c
-            for s, c in reaction.products:
-                net[s] = net.get(s, 0) + c
-            self._net.append(net)
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """The current state as a species -> copy-number mapping (a
+        snapshot; mutate the simulator through ``step``/``advance``)."""
+        return {s: int(self._x[0, i])
+                for s, i in self.compiled.species_index.items()}
 
     # ------------------------------------------------------------------
-    def _select_tau(self, propensities: list[float]) -> float:
-        """Cao-Gillespie-Petzold step-size control (species-based)."""
-        mu: dict[str, float] = {}
-        sigma2: dict[str, float] = {}
-        for net, a in zip(self._net, propensities):
-            if a <= 0.0:
-                continue
-            for species, change in net.items():
-                mu[species] = mu.get(species, 0.0) + change * a
-                sigma2[species] = sigma2.get(species, 0.0) + change * change * a
-        tau = math.inf
-        for species, m in mu.items():
-            x = self.counts.get(species, 0)
-            bound = max(self.epsilon * x, 1.0)
-            if m != 0.0:
-                tau = min(tau, bound / abs(m))
-            s2 = sigma2.get(species, 0.0)
-            if s2 > 0.0:
-                tau = min(tau, bound * bound / s2)
-        return tau
+    def _exact_step(self, aT: np.ndarray, total: float,
+                    t_max: float) -> bool:
+        """One exact direct-method step from the precomputed
+        propensities (the leap fallback in the small-tau regime)."""
+        tau = self.rng.exponential(1.0 / total)
+        if self.time + tau > t_max:
+            self.time = t_max
+            return False
+        pick = self.rng.random() * total
+        cumulative = np.cumsum(aT[:, 0])
+        chosen = int((cumulative < pick).sum())
+        if chosen > aT.shape[0] - 1:
+            chosen = aT.shape[0] - 1
+        self._x[0] += self._stoich[chosen]
+        self.time += tau
+        self.steps += 1
+        self.exact_steps += 1
+        return True
 
     def step(self, t_max: float = math.inf) -> bool:
         """One leap (or one exact SSA step in the hybrid regime)."""
-        propensities = [r.propensity(self.counts)
-                        for r in self.network.reactions]
-        total = sum(propensities)
+        aT = self.compiled.propensities_T(self._x)
+        total = float(aT.sum())
         if total <= 0.0:
             if t_max < math.inf:
                 self.time = max(self.time, t_max)
             return False
-        tau = self._select_tau(propensities)
+        tau = float(numpy_leap_tau(aT, self._x, self._stoich,
+                                   self.epsilon)[0])
         if tau < self.ssa_threshold / total:
             # leap not worth it: take one exact step
-            self._exact.time = self.time
-            self._exact.steps = 0
-            fired = self._exact.step(t_max=t_max)
-            self.time = self._exact.time
-            if fired:
-                self.steps += 1
-                self.exact_steps += 1
-            return fired
+            return self._exact_step(aT, total, t_max)
         tau = min(tau, t_max - self.time)
         if tau <= 0.0:
             self.time = t_max
             return False
         for _attempt in range(30):
-            fires = [
-                int(self._np_rng.poisson(a * tau)) if a > 0.0 else 0
-                for a in propensities
-            ]
-            new_counts = dict(self.counts)
-            for net, k in zip(self._net, fires):
-                if k == 0:
-                    continue
-                for species, change in net.items():
-                    new_counts[species] = new_counts.get(species, 0) + change * k
-            if all(v >= 0 for v in new_counts.values()):
-                self.counts.clear()
-                self.counts.update(new_counts)
+            fires = self.rng.poisson(aT[:, 0] * tau).astype(np.float64)
+            ok = numpy_leap_fire(self._x, self._stoich, fires[None, :])
+            if ok[0]:
                 self.time += tau
-                self.steps += sum(fires)
+                self.steps += int(fires.sum())
                 self.leaps += 1
                 return True
             tau /= 2.0  # rejected: would go negative; halve and retry
         # could not find a safe leap: take one exact step instead
-        self._exact.time = self.time
-        fired = self._exact.step(t_max=t_max)
-        self.time = self._exact.time
-        if fired:
-            self.steps += 1
-            self.exact_steps += 1
-        return fired
+        return self._exact_step(aT, total, t_max)
 
     def advance(self, quantum: float) -> float:
         target = self.time + quantum
@@ -180,7 +159,9 @@ class TauLeapSimulator:
         return self.time
 
     def observe(self) -> tuple[float, ...]:
-        return tuple(float(self.counts[s]) for s in self.network.observables)
+        return tuple(
+            float(v)
+            for v in self._x[0, self.compiled.observable_columns])
 
     @property
     def observable_names(self) -> tuple[str, ...]:

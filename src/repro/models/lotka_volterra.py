@@ -10,19 +10,37 @@ the paper's quantum-based farm scheduling addresses.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cwc.network import Reaction, ReactionNetwork
 
 
-def lotka_volterra_network(prey0: int = 1000, predator0: int = 1000,
+def lotka_volterra_network(omega: float = 1000.0,
+                           prey0: Optional[int] = None,
+                           predator0: Optional[int] = None,
                            birth: float = 10.0,
-                           predation: float = 0.01,
+                           predation: Optional[float] = None,
                            death: float = 10.0) -> ReactionNetwork:
     """``prey -> 2 prey`` / ``prey + pred -> 2 pred`` / ``pred -> 0``.
 
-    Default rates give a mean period of about 1 time unit and roughly
-    balanced mean populations (``death/predation`` and
-    ``birth/predation``).
+    ``omega`` is the system size: initial populations scale as ``omega``
+    and the bimolecular predation constant as ``10/omega``, keeping the
+    macroscopic (concentration) dynamics fixed while the copy numbers --
+    and with them the SSA event rate -- grow.  The defaults reproduce
+    the historical network exactly (``prey0 = predator0 = 1000``,
+    ``predation = 0.01``); explicit ``prey0``/``predator0``/``predation``
+    override the omega scaling.  Rates give a mean period of about 1
+    time unit and roughly balanced mean populations
+    (``death/predation`` and ``birth/predation``).
     """
+    if omega <= 0:
+        raise ValueError(f"omega must be > 0, got {omega}")
+    if prey0 is None:
+        prey0 = round(omega)
+    if predator0 is None:
+        predator0 = round(omega)
+    if predation is None:
+        predation = 10.0 / omega
     reactions = [
         Reaction.make("prey_birth", {"prey": 1}, {"prey": 2}, birth),
         Reaction.make("predation", {"prey": 1, "pred": 1}, {"pred": 2},

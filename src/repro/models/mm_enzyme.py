@@ -9,12 +9,31 @@ also being the class best served by plain ODEs.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cwc.network import Reaction, ReactionNetwork
 
 
-def mm_enzyme_network(enzyme0: int = 100, substrate0: int = 1000,
-                      k_bind: float = 0.005, k_unbind: float = 1.0,
+def mm_enzyme_network(omega: float = 100.0,
+                      enzyme0: Optional[int] = None,
+                      substrate0: Optional[int] = None,
+                      k_bind: Optional[float] = None,
+                      k_unbind: float = 1.0,
                       k_cat: float = 0.5) -> ReactionNetwork:
+    """``omega`` is the system size: ``enzyme0 = omega``, ``substrate0 =
+    10 * omega`` and the bimolecular binding constant ``0.5/omega``, so
+    the concentration dynamics stay fixed as copy numbers grow.  The
+    defaults reproduce the historical network exactly (``enzyme0=100``,
+    ``substrate0=1000``, ``k_bind=0.005``); explicit values override the
+    omega scaling."""
+    if omega <= 0:
+        raise ValueError(f"omega must be > 0, got {omega}")
+    if enzyme0 is None:
+        enzyme0 = round(omega)
+    if substrate0 is None:
+        substrate0 = round(10 * omega)
+    if k_bind is None:
+        k_bind = 0.5 / omega
     reactions = [
         Reaction.make("bind", {"E": 1, "S": 1}, {"ES": 1}, k_bind),
         Reaction.make("unbind", {"ES": 1}, {"E": 1, "S": 1}, k_unbind),

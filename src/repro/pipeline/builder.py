@@ -159,7 +159,8 @@ def build_workflow(model: Union[Model, ReactionNetwork],
         model, config.n_simulations, config.t_end, config.quantum,
         config.sample_every, seed=config.seed, engine=config.engine,
         batch_size=config.batch_size,
-        engine_kernel=config.engine_kernel)
+        engine_kernel=config.engine_kernel,
+        method=config.method)
     stop_requested = (
         (lambda: controller.stop_requested) if controller is not None
         else None)

@@ -37,6 +37,13 @@ class WorkflowConfig:
     #: numpy for the same seeds) or "cupy" (real-GPU arrays); the latter
     #: two need the matching optional extra installed
     engine_kernel: str = "numpy"
+    #: stepping algorithm: "exact" (direct-method SSA, the default),
+    #: "first" (first-reaction method, scalar engines only), "tau"
+    #: (tau-leaping with CGP step control + exact fallback) or "hybrid"
+    #: (tau with a per-row population gate keeping small-count rows
+    #: exact).  tau/hybrid are distribution-equivalent to exact, not
+    #: bit-identical.
+    method: str = "exact"
     scheduling: str = "ondemand"  # farm dispatch policy
     #: "threads" | "sequential" (in-process executors), "processes"
     #: (thread runtime + process-pool simulation engines) or "cluster"
@@ -78,6 +85,7 @@ class WorkflowConfig:
 
     BACKENDS = ("threads", "sequential", "processes", "cluster")
     ENGINE_KERNELS = ("numpy", "numba", "cupy")
+    METHODS = ("exact", "first", "tau", "hybrid")
 
     def __post_init__(self) -> None:
         if self.n_simulations < 1:
@@ -98,6 +106,18 @@ class WorkflowConfig:
             raise ValueError(
                 f"unknown engine_kernel {self.engine_kernel!r}; pick one "
                 f"of {', '.join(self.ENGINE_KERNELS)}")
+        if self.method not in self.METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; pick one of "
+                f"{', '.join(self.METHODS)}")
+        if self.method == "first" and self.engine == "batch":
+            raise ValueError(
+                "method='first' is scalar-only; the batch engine "
+                "supports exact, tau and hybrid")
+        if self.method != "exact" and self.engine == "cwc":
+            raise ValueError(
+                f"method={self.method!r} needs a flat network; the CWC "
+                "tree-term engine is exact-only")
         if self.t_end <= 0 or self.sample_every <= 0 or self.quantum <= 0:
             raise ValueError("t_end, sample_every, quantum must be > 0")
         if self.n_sim_workers < 1 or self.n_stat_workers < 1:

@@ -29,9 +29,9 @@ from repro.pipeline.steering import ProgressEvent, SteeringController
 _MODELS = {
     "neurospora": lambda omega: neurospora_network(omega=omega),
     "neurospora-cwc": lambda omega: neurospora_cwc_model(omega=omega),
-    "lotka-volterra": lambda omega: lotka_volterra_network(),
+    "lotka-volterra": lambda omega: lotka_volterra_network(omega=omega),
     "toggle": lambda omega: toggle_switch_network(omega=omega),
-    "enzyme": lambda omega: mm_enzyme_network(),
+    "enzyme": lambda omega: mm_enzyme_network(omega=omega),
 }
 
 
@@ -69,6 +69,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "bit-identical to numpy) or cupy (real "
                              "GPU); numba/cupy need the matching "
                              "optional extra installed")
+    parser.add_argument("--method",
+                        choices=("exact", "first", "tau", "hybrid"),
+                        default="exact",
+                        help="stepping algorithm: exact (direct-method "
+                             "SSA), first (first-reaction method, "
+                             "scalar engines only), tau (tau-leaping "
+                             "with CGP step control) or hybrid "
+                             "(tau-leaping that keeps small-population "
+                             "rows on exact SSA); tau/hybrid trade "
+                             "bit-reproducibility for an order-of-"
+                             "magnitude speedup at large omega")
     parser.add_argument("--no-zero-copy", action="store_true",
                         help="disable the zero-copy result transport "
                              "(shared-memory ring on the processes "
@@ -159,6 +170,7 @@ def run_sweep_cli(args, model) -> int:
                            sample_every=args.sample_every,
                            n_sim_workers=args.sim_workers,
                            engine_kernel=args.engine_kernel,
+                           method=args.method,
                            trace=args.trace)
     except (KernelUnavailable, NodeError) as exc:
         original = getattr(exc, "original", exc)
@@ -198,22 +210,27 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    config = WorkflowConfig(
-        n_simulations=args.simulations, t_end=args.t_end,
-        sample_every=args.sample_every, quantum=args.quantum,
-        n_sim_workers=args.sim_workers, n_stat_workers=args.stat_workers,
-        window_size=args.window, window_slide=args.slide,
-        kmeans_k=args.kmeans, filter_width=args.filter_width,
-        histogram_bins=args.histogram,
-        seed=args.seed, engine=args.engine, batch_size=args.batch_size,
-        engine_kernel=args.engine_kernel,
-        zero_copy=not args.no_zero_copy,
-        backend=args.backend, keep_cuts=True,
-        cluster_workers=args.workers, cluster_inflight=args.inflight,
-        adaptive_ci=adaptive_ci, adaptive_relative=adaptive_relative,
-        adaptive_repriority=args.adaptive_repriority,
-        trace=args.trace or args.trace_report is not None,
-        trace_report_path=args.trace_report)
+    try:
+        config = WorkflowConfig(
+            n_simulations=args.simulations, t_end=args.t_end,
+            sample_every=args.sample_every, quantum=args.quantum,
+            n_sim_workers=args.sim_workers,
+            n_stat_workers=args.stat_workers,
+            window_size=args.window, window_slide=args.slide,
+            kmeans_k=args.kmeans, filter_width=args.filter_width,
+            histogram_bins=args.histogram,
+            seed=args.seed, engine=args.engine, batch_size=args.batch_size,
+            engine_kernel=args.engine_kernel, method=args.method,
+            zero_copy=not args.no_zero_copy,
+            backend=args.backend, keep_cuts=True,
+            cluster_workers=args.workers, cluster_inflight=args.inflight,
+            adaptive_ci=adaptive_ci, adaptive_relative=adaptive_relative,
+            adaptive_repriority=args.adaptive_repriority,
+            trace=args.trace or args.trace_report is not None,
+            trace_report_path=args.trace_report)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     def on_progress(event: ProgressEvent) -> None:
         if args.quiet:

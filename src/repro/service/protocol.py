@@ -56,9 +56,9 @@ class ProtocolError(ValueError):
 MODEL_FACTORIES = {
     "neurospora": lambda omega: neurospora_network(omega=omega),
     "neurospora-cwc": lambda omega: neurospora_cwc_model(omega=omega),
-    "lotka-volterra": lambda omega: lotka_volterra_network(),
+    "lotka-volterra": lambda omega: lotka_volterra_network(omega=omega),
     "toggle": lambda omega: toggle_switch_network(omega=omega),
-    "enzyme": lambda omega: mm_enzyme_network(),
+    "enzyme": lambda omega: mm_enzyme_network(omega=omega),
 }
 
 #: WorkflowConfig fields a tenant may set.  Backend, transport and
@@ -68,7 +68,7 @@ CONFIG_FIELDS = frozenset({
     "n_simulations", "t_end", "sample_every", "quantum",
     "n_sim_workers", "n_stat_workers", "window_size", "window_slide",
     "kmeans_k", "filter_width", "histogram_bins", "seed",
-    "engine", "batch_size", "engine_kernel", "columnar",
+    "engine", "batch_size", "engine_kernel", "method", "columnar",
     "adaptive_ci", "adaptive_relative", "adaptive_min_windows",
     "adaptive_species", "adaptive_repriority",
 })

@@ -211,6 +211,7 @@ class RunManager:
                     quantum=cfg.quantum, sample_every=cfg.sample_every,
                     n_sim_workers=cfg.n_sim_workers,
                     engine_kernel=cfg.engine_kernel,
+                    method=cfg.method,
                     tracer=handle.tracer,
                     engine_factory=engine_factory,
                     stop_requested=lambda:

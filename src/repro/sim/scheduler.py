@@ -35,6 +35,7 @@ class TaskGenerator(SourceNode):
                  sample_every: float, seed: Optional[int] = 0,
                  engine: str = "auto", batch_size: int = 64,
                  engine_kernel: str = "numpy",
+                 method: str = "exact",
                  name: str = "task-gen"):
         super().__init__(name=name)
         if n_simulations < 1:
@@ -48,6 +49,7 @@ class TaskGenerator(SourceNode):
         self.engine = engine
         self.batch_size = batch_size
         self.engine_kernel = engine_kernel
+        self.method = method
 
     def generate(self) -> Iterable[SimulationTask]:
         from repro.cwc.batch import network_cache_stats
@@ -56,7 +58,8 @@ class TaskGenerator(SourceNode):
                            self.quantum, self.sample_every,
                            seed=self.seed, engine=self.engine,
                            batch_size=self.batch_size,
-                           engine_kernel=self.engine_kernel)
+                           engine_kernel=self.engine_kernel,
+                           method=self.method)
         hits = network_cache_stats()["hits"] - hits_before
         if hits:
             self.trace_incr("sim.network_cache_hits", hits)

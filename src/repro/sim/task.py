@@ -503,7 +503,8 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
                engine: str = "auto",
                batch_size: int = 64,
                engine_kernel: str = "numpy",
-               coalesce: bool = False) -> list[SimulationTask]:
+               coalesce: bool = False,
+               method: str = "exact") -> list[SimulationTask]:
     """Create tasks covering ``n_simulations`` trajectories of ``model``.
 
     ``engine`` selects the simulator: ``"flat"`` (plain Gillespie; requires
@@ -516,17 +517,28 @@ def make_tasks(model: Union[Model, ReactionNetwork], n_simulations: int,
 
     ``engine_kernel`` picks the batch engine's inner loop
     (:mod:`repro.cwc.kernels`); the scalar engines ignore it.
+
+    ``method`` selects the stepping algorithm: ``"exact"`` (direct
+    method, the default), ``"first"`` (first-reaction method, scalar
+    engines only), ``"tau"`` / ``"hybrid"`` (tau-leaping; the batch
+    engine leaps per row, the scalar engines use
+    :class:`~repro.cwc.methods.TauLeapSimulator`).  The CWC tree-term
+    engine supports ``"exact"`` only.
     """
     if engine == "batch":
+        if method == "first":
+            raise ValueError(
+                "method='first' is scalar-only; the batch engine "
+                "supports exact, tau and hybrid")
         return make_batch_tasks(model, n_simulations, t_end, quantum,
                                 sample_every, seed=seed,
                                 batch_size=batch_size,
                                 engine_kernel=engine_kernel,
-                                coalesce=coalesce)
+                                coalesce=coalesce, method=method)
     tasks = []
     for task_id in range(n_simulations):
         task_seed = None if seed is None else seed + task_id
-        simulator = _make_simulator(model, engine, task_seed)
+        simulator = _make_simulator(model, engine, task_seed, method)
         tasks.append(SimulationTask(task_id, simulator, t_end, quantum,
                                     sample_every))
     return tasks
@@ -537,7 +549,8 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
                      sample_every: float, seed: Optional[int] = 0,
                      batch_size: int = 64,
                      engine_kernel: str = "numpy",
-                     coalesce: bool = False
+                     coalesce: bool = False,
+                     method: str = "exact"
                      ) -> list[BatchSimulationTask]:
     """Group ``n_simulations`` trajectories into lockstep batch tasks.
 
@@ -551,6 +564,9 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
     kernel-independent, so ``"numba"`` reproduces the ``"numpy"``
     trajectories bit for bit.  ``coalesce`` makes each block return one
     :class:`ResultBlock` per quantum instead of per-member results.
+    ``method`` picks the stepping algorithm per
+    :class:`~repro.cwc.batch.BatchFlatSimulator` (``"exact"``, ``"tau"``
+    or ``"hybrid"``).
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -564,20 +580,39 @@ def make_batch_tasks(model: Union[Model, ReactionNetwork],
         ids = range(base, min(base + batch_size, n_simulations))
         block_seed = None if seed is None else seed + base
         batch = BatchFlatSimulator(compiled, len(ids), seed=block_seed,
-                                   kernel=engine_kernel)
+                                   kernel=engine_kernel, method=method)
         tasks.append(BatchSimulationTask(ids, batch, t_end, quantum,
                                          sample_every, coalesce=coalesce))
     return tasks
 
 
+def _scalar_simulator(network: ReactionNetwork, seed: Optional[int],
+                      method: str):
+    """Build one scalar flat-network simulator for ``method``."""
+    if method == "exact":
+        return FlatSimulator(network, seed=seed)
+    if method == "first":
+        from repro.cwc.methods import FirstReactionSimulator
+        return FirstReactionSimulator(network, seed=seed)
+    if method in ("tau", "hybrid"):
+        from repro.cwc.methods import TauLeapSimulator
+        return TauLeapSimulator(network, seed=seed)
+    raise ValueError(f"unknown method {method!r}")
+
+
 def _make_simulator(model: Union[Model, ReactionNetwork], engine: str,
-                    seed: Optional[int]):
+                    seed: Optional[int], method: str = "exact"):
     if isinstance(model, ReactionNetwork):
         if engine == "cwc":
             raise ValueError("a ReactionNetwork has no CWC term structure")
-        return FlatSimulator(model, seed=seed)
+        return _scalar_simulator(model, seed, method)
     if engine == "flat" or (engine == "auto" and model.is_flat()):
-        return FlatSimulator(ReactionNetwork.from_model(model), seed=seed)
+        return _scalar_simulator(ReactionNetwork.from_model(model), seed,
+                                 method)
     if engine in ("cwc", "auto"):
+        if method != "exact":
+            raise ValueError(
+                f"method={method!r} needs a flat network; the CWC "
+                "tree-term engine is exact-only")
         return CWCSimulator(model, seed=seed)
     raise ValueError(f"unknown engine {engine!r}")

@@ -52,7 +52,8 @@ class FusedSweepTask(BatchSimulationTask):
 def make_fused_tasks(model: Union[Model, ReactionNetwork],
                      spec: SweepSpec, t_end: float, quantum: float,
                      sample_every: float,
-                     engine_kernel: str = "numpy"
+                     engine_kernel: str = "numpy",
+                     method: str = "exact"
                      ) -> list[FusedSweepTask]:
     """Build the sweep's fused blocks.
 
@@ -62,6 +63,12 @@ def make_fused_tasks(model: Union[Model, ReactionNetwork],
     point broadcast across its trajectories) and one RNG stream per
     point seeded ``spec.seed_of(point)`` -- the solo-run seed, which is
     what makes the fused trajectories bit-identical to solo runs.
+
+    ``method`` picks the stepping algorithm (``"exact"``, ``"tau"`` or
+    ``"hybrid"``).  The per-point streams carry over: under leaping a
+    fused point's trajectories still match the solo leaped run of that
+    point bit for bit (same streams, same draw order), though leaped
+    runs as a class are only distribution-equivalent to exact SSA.
     """
     if isinstance(model, ReactionNetwork):
         network = model
@@ -79,7 +86,8 @@ def make_fused_tasks(model: Union[Model, ReactionNetwork],
         batch = BatchFlatSimulator(
             compiled, n_rows, seed=spec.seed_of(points[0]),
             kernel=engine_kernel, row_rates=rows,
-            rng_streams=[(T, spec.seed_of(p)) for p in points])
+            rng_streams=[(T, spec.seed_of(p)) for p in points],
+            method=method)
         task_ids = range(points[0] * T, (points[-1] + 1) * T)
         tasks.append(FusedSweepTask(points, T, task_ids, batch, t_end,
                                     quantum, sample_every))

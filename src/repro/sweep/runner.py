@@ -125,7 +125,8 @@ class _FusedTaskSource(SourceNode):
     reports compile-cache hits like the single-run task generator."""
 
     def __init__(self, network, spec: SweepSpec, t_end: float,
-                 quantum: float, sample_every: float, engine_kernel: str):
+                 quantum: float, sample_every: float, engine_kernel: str,
+                 method: str = "exact"):
         super().__init__(name="sweep-gen")
         self.network = network
         self.spec = spec
@@ -133,12 +134,14 @@ class _FusedTaskSource(SourceNode):
         self.quantum = quantum
         self.sample_every = sample_every
         self.engine_kernel = engine_kernel
+        self.method = method
 
     def generate(self):
         hits_before = network_cache_stats()["hits"]
         tasks = make_fused_tasks(self.network, self.spec, self.t_end,
                                  self.quantum, self.sample_every,
-                                 engine_kernel=self.engine_kernel)
+                                 engine_kernel=self.engine_kernel,
+                                 method=self.method)
         hits = network_cache_stats()["hits"] - hits_before
         if hits:
             self.trace_incr("sim.network_cache_hits", hits)
@@ -148,6 +151,7 @@ class _FusedTaskSource(SourceNode):
 def run_sweep(model: Union[Model, ReactionNetwork], spec: SweepSpec,
               t_end: float, quantum: float, sample_every: float,
               n_sim_workers: int = 4, engine_kernel: str = "numpy",
+              method: str = "exact",
               backend: str = "threads",
               observable_names: Optional[Sequence[str]] = None,
               tracer: Optional[Tracer] = None,
@@ -185,7 +189,7 @@ def run_sweep(model: Union[Model, ReactionNetwork], spec: SweepSpec,
         spec.n_points, spec.n_trajectories, n_cuts,
         len(observable_names))
     source = _FusedTaskSource(network, spec, t_end, quantum, sample_every,
-                              engine_kernel)
+                              engine_kernel, method)
     farm = Farm(
         [engine_factory(i) for i in range(n_sim_workers)],
         emitter=SimTaskEmitter(stop_requested=stop_requested),

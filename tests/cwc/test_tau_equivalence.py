@@ -1,0 +1,198 @@
+"""Distribution equivalence: leaped ensembles vs exact batch SSA.
+
+Tau-leaping is *not* bit-identical to the direct method -- it is an
+epsilon-controlled approximation of the same jump process -- so the
+correctness claim is statistical: the marginal distribution of every
+observable, at mid-trajectory and at the terminal time, must be
+indistinguishable from the exact ensemble's.  A hand-rolled two-sample
+Kolmogorov-Smirnov test (no scipy: the asymptotic critical value
+``c(alpha) = sqrt(-ln(alpha/2) / 2)`` is three lines) checks the full
+marginals; mean/variance moment checks catch gross bias the KS test
+could in principle miss at these sample sizes.
+
+The matrix covers both test models (Lotka-Volterra, Michaelis-Menten
+enzyme) at two omega scalings each -- leaping must stay faithful both
+where it pays (large omega) and where the exact fallback carries it
+(small omega) -- for both leap methods, on every installed kernel.
+
+``alpha = 1e-3`` with fixed seeds: the suite is deterministic, and the
+critical distance at the sample sizes used (~0.17 at n = m = 256)
+leaves a wide margin over the observed distances for a correct
+implementation while still failing loudly for real bias (a wrong
+stoichiometry scatter or tau bound lands far above it).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cwc.batch import BatchFlatSimulator
+from repro.cwc.kernels import KERNEL_NAMES, kernel_available
+from repro.models import lotka_volterra_network, mm_enzyme_network
+
+KERNELS = [k for k in KERNEL_NAMES if kernel_available(k)]
+
+N_TRAJECTORIES = 256
+ALPHA = 1e-3
+
+#: model -> (factory, omegas, (t_mid, t_end))
+MODELS = {
+    "lotka-volterra": (lotka_volterra_network, (50.0, 400.0),
+                       (0.1, 0.25)),
+    "enzyme": (mm_enzyme_network, (30.0, 300.0), (0.5, 1.5)),
+}
+
+
+# ---------------------------------------------------------------------------
+# hand-rolled two-sample KS test
+# ---------------------------------------------------------------------------
+
+def ks_statistic(x: np.ndarray, y: np.ndarray) -> float:
+    """sup_t |F_x(t) - F_y(t)| over the pooled sample grid (right-
+    continuous empirical CDFs, so ties -- counts are discrete -- are
+    handled exactly)."""
+    x = np.sort(np.asarray(x, dtype=float))
+    y = np.sort(np.asarray(y, dtype=float))
+    grid = np.concatenate([x, y])
+    cdf_x = np.searchsorted(x, grid, side="right") / x.size
+    cdf_y = np.searchsorted(y, grid, side="right") / y.size
+    return float(np.abs(cdf_x - cdf_y).max())
+
+
+def ks_critical(n: int, m: int, alpha: float = ALPHA) -> float:
+    """Asymptotic two-sample rejection distance at level ``alpha``."""
+    c = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    return c * math.sqrt((n + m) / (n * m))
+
+
+def assert_same_distribution(x: np.ndarray, y: np.ndarray,
+                             label: str) -> None:
+    d = ks_statistic(x, y)
+    crit = ks_critical(x.size, y.size)
+    assert d <= crit, (f"{label}: KS distance {d:.4f} > critical "
+                       f"{crit:.4f} (alpha={ALPHA})")
+
+
+class TestKSMachinery:
+    """The test statistic itself has to be right before it can vouch
+    for the engine."""
+
+    def test_identical_samples_have_zero_distance(self):
+        x = np.array([1.0, 2.0, 2.0, 5.0])
+        assert ks_statistic(x, x.copy()) == 0.0
+
+    def test_disjoint_samples_have_distance_one(self):
+        assert ks_statistic(np.zeros(10), np.ones(10)) == 1.0
+
+    def test_known_distance(self):
+        # F_x jumps to 1 at 0; F_y jumps 0.5 at 0 and 1 at 1
+        x = np.zeros(4)
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        assert ks_statistic(x, y) == pytest.approx(0.5)
+
+    def test_rejects_shifted_distribution(self):
+        rng = np.random.default_rng(0)
+        x = rng.poisson(100.0, size=400).astype(float)
+        y = rng.poisson(130.0, size=400).astype(float)
+        assert ks_statistic(x, y) > ks_critical(400, 400)
+
+    def test_accepts_same_distribution(self):
+        rng = np.random.default_rng(1)
+        x = rng.poisson(100.0, size=400).astype(float)
+        y = rng.poisson(100.0, size=400).astype(float)
+        assert ks_statistic(x, y) <= ks_critical(400, 400)
+
+
+# ---------------------------------------------------------------------------
+# ensembles
+# ---------------------------------------------------------------------------
+
+_exact_cache: dict = {}
+
+
+def run_ensemble(model_key: str, omega: float, method: str,
+                 kernel: str, seed: int):
+    """(mid, terminal) observable matrices, ``(n, n_observables)``."""
+    factory, _, (t_mid, t_end) = MODELS[model_key]
+    sim = BatchFlatSimulator(factory(omega=omega), N_TRAJECTORIES,
+                             seed=seed, kernel=kernel, method=method)
+    sim.advance(t_mid)
+    mid = sim.observe_all().copy()
+    sim.advance(t_end - t_mid)
+    return sim, mid, sim.observe_all().copy()
+
+
+def exact_ensemble(model_key: str, omega: float):
+    """The exact reference, cached: the same ensemble serves every
+    (method, kernel) comparison (the reference distribution does not
+    depend on who is being tested against it)."""
+    key = (model_key, omega)
+    if key not in _exact_cache:
+        _, mid, term = run_ensemble(model_key, omega, "exact", "numpy",
+                                    seed=1000)
+        _exact_cache[key] = (mid, term)
+    return _exact_cache[key]
+
+
+def model_cases():
+    for model_key, (_, omegas, _times) in MODELS.items():
+        for omega in omegas:
+            yield model_key, omega
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("method", ["tau", "hybrid"])
+@pytest.mark.parametrize("model_key,omega", list(model_cases()))
+class TestDistributionEquivalence:
+    def test_marginals_match_exact(self, model_key, omega, method,
+                                   kernel):
+        if kernel == "cupy" and not kernel_available("cupy"):
+            pytest.skip("cupy not installed")
+        exact_mid, exact_term = exact_ensemble(model_key, omega)
+        sim, mid, term = run_ensemble(model_key, omega, method, kernel,
+                                      seed=2000)
+        names = sim.observable_names
+        for cut_label, got, ref in (("mid", mid, exact_mid),
+                                    ("terminal", term, exact_term)):
+            for c, name in enumerate(names):
+                assert_same_distribution(
+                    got[:, c], ref[:, c],
+                    f"{model_key} omega={omega} {method}/{kernel} "
+                    f"{cut_label} {name}")
+
+    def test_moments_match_exact(self, model_key, omega, method, kernel):
+        """Terminal mean within 3 pooled standard errors and variance
+        within a factor of two per observable -- a blunt instrument,
+        but one a biased leap cannot slip past."""
+        if kernel == "cupy" and not kernel_available("cupy"):
+            pytest.skip("cupy not installed")
+        _, exact_term = exact_ensemble(model_key, omega)
+        _, _, term = run_ensemble(model_key, omega, method, kernel,
+                                  seed=3000)
+        for c in range(term.shape[1]):
+            ref, got = exact_term[:, c], term[:, c]
+            sem = math.sqrt((ref.var(ddof=1) + got.var(ddof=1))
+                            / ref.size)
+            tol = max(3.0 * sem, 0.02 * max(abs(ref.mean()), 1.0))
+            assert abs(got.mean() - ref.mean()) <= tol, (
+                f"obs {c}: mean {got.mean():.2f} vs {ref.mean():.2f}")
+            if ref.var(ddof=1) > 1.0:
+                ratio = got.var(ddof=1) / ref.var(ddof=1)
+                assert 0.5 <= ratio <= 2.0, (
+                    f"obs {c}: variance ratio {ratio:.2f}")
+
+
+class TestLeapActuallyLeaps:
+    """Guard against the equivalence suite passing vacuously: at the
+    large-omega points the leap methods must actually be leaping (if a
+    regression silently forced the exact fallback everywhere, the KS
+    suite would still pass -- this would not)."""
+
+    @pytest.mark.parametrize("method", ["tau", "hybrid"])
+    def test_large_omega_uses_leaps(self, method):
+        sim, _, _ = run_ensemble("lotka-volterra", 400.0, method,
+                                 "numpy", seed=2000)
+        assert sim.leaps.sum() > 0
+        assert sim.steps.sum() > 10 * (sim.leaps.sum()
+                                       + sim.exact_steps.sum())
